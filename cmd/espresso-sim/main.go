@@ -1,0 +1,143 @@
+// Command espresso-sim executes a compression strategy end to end on the
+// simulated cluster: real gradient bytes flow through the compression,
+// collective, and error-feedback stack for a number of iterations, the
+// result is checked for cross-GPU agreement, and the derived timeline is
+// printed as a Gantt chart.
+//
+//	espresso-sim -model lstm -cluster pcie -machines 2 -algo dgc -system espresso -iters 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"espresso/internal/baselines"
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/core"
+	"espresso/internal/cost"
+	"espresso/internal/ddl"
+	"espresso/internal/model"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+)
+
+func main() {
+	var (
+		modelF   = flag.String("model", "lstm", "model preset")
+		clusterF = flag.String("cluster", "nvlink", "cluster preset (nvlink, pcie)")
+		machines = flag.Int("machines", 2, "GPU machines")
+		gpus     = flag.Int("gpus", 2, "GPUs per machine (kept small: the data plane moves real bytes)")
+		algo     = flag.String("algo", "dgc", "GC algorithm")
+		ratio    = flag.Float64("ratio", 0.01, "sparsifier ratio")
+		system   = flag.String("system", "espresso", "espresso|fp32|hipress|hitopkcomm|bytepscompress")
+		iters    = flag.Int("iters", 2, "iterations to execute on the data plane")
+		scale    = flag.Int("scale", 4096, "elements per simulated tensor on the data plane")
+		gantt    = flag.Bool("gantt", true, "print the derived timeline")
+	)
+	flag.Parse()
+
+	m, err := model.ByName(*modelF)
+	if err != nil {
+		fatal(err)
+	}
+	var c *cluster.Cluster
+	switch *clusterF {
+	case "nvlink":
+		c = cluster.NVLinkTestbed(*machines)
+	case "pcie":
+		c = cluster.PCIeTestbed(*machines)
+	default:
+		fatal(fmt.Errorf("unknown cluster preset %q", *clusterF))
+	}
+	c.GPUsPerMachine = *gpus
+	id, err := compress.ParseID(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	spec := compress.Spec{ID: id, Ratio: *ratio}
+	cm, err := cost.NewModels(c, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Pick the strategy.
+	var s *strategy.Strategy
+	switch *system {
+	case "espresso":
+		sel := core.NewSelector(m, c, cm)
+		var rep *core.Report
+		s, rep, err = sel.Select()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("selected strategy in %v: %d/%d tensors compressed, %d offloaded\n",
+			rep.SelectionTime, rep.Compressed, m.NumTensors(), rep.Offloaded)
+	case "fp32", "hipress", "hitopkcomm", "bytepscompress":
+		sys := map[string]baselines.System{
+			"fp32": baselines.FP32, "hipress": baselines.HiPress,
+			"hitopkcomm": baselines.HiTopKComm, "bytepscompress": baselines.BytePSCompress,
+		}[*system]
+		if s, err = baselines.Strategy(sys, m, c, cm); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	// Derive the timeline.
+	eng := timeline.New(m, c, cm)
+	res, err := eng.Evaluate(s)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("predicted iteration time: %v (throughput %.0f %s/s)\n",
+		res.Iter, core.Throughput(m, c, res.Iter), m.BatchUnit)
+
+	// Execute the data plane with scaled-down tensors: per-GPU random
+	// gradients move through the real compression/collective stack.
+	x, err := ddl.NewExecutor(c, spec)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	total := c.TotalGPUs()
+	for it := 0; it < *iters; it++ {
+		for ti := range m.Tensors {
+			n := *scale
+			grads := make([][]float32, total)
+			for g := range grads {
+				grads[g] = make([]float32, n)
+				for j := range grads[g] {
+					grads[g][j] = float32(rng.NormFloat64())
+				}
+			}
+			out, err := x.SyncTensor(m.Tensors[ti].Name, grads, s.PerTensor[ti], uint64(it))
+			if err != nil {
+				fatal(fmt.Errorf("iteration %d tensor %s: %w", it, m.Tensors[ti].Name, err))
+			}
+			for g := 1; g < total; g++ {
+				for j := range out[g] {
+					if out[g][j] != out[0][j] {
+						fatal(fmt.Errorf("iteration %d tensor %s: GPUs 0 and %d disagree at element %d",
+							it, m.Tensors[ti].Name, g, j))
+					}
+				}
+			}
+		}
+		fmt.Printf("iteration %d: %d tensors synchronized, all %d GPUs agree\n",
+			it, m.NumTensors(), total)
+	}
+
+	if *gantt {
+		fmt.Println("\nderived timeline:")
+		fmt.Print(res.Gantt())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espresso-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command espresso-trace runs the offline profiling stage (§4.3): it
+// collects simulated execution traces for a model (100-iteration
+// averaging), prints its tensor-size census, and measures the real
+// wall-clock compression profile of this library's algorithms on the
+// current host.
+//
+//	espresso-trace -model bert-base -algo efsignsgd -reps 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"espresso/internal/compress"
+	"espresso/internal/model"
+	"espresso/internal/trace"
+)
+
+func main() {
+	var (
+		modelF = flag.String("model", "bert-base", "model preset")
+		algo   = flag.String("algo", "efsignsgd", "GC algorithm to profile")
+		ratio  = flag.Float64("ratio", 0.01, "sparsifier ratio")
+		iters  = flag.Int("iters", 100, "trace iterations (the paper uses 100)")
+		jitter = flag.Float64("jitter", 0.03, "simulated per-iteration measurement noise")
+		reps   = flag.Int("reps", 10, "compression profiling repetitions per size")
+	)
+	flag.Parse()
+
+	m, err := model.ByName(*modelF)
+	if err != nil {
+		fatal(err)
+	}
+
+	stats := trace.CollectCompute(m, *iters, *jitter, 1)
+	fmt.Printf("traced %s over %d iterations (noise ±%.0f%%):\n", m.Name, *iters, 100**jitter)
+	var worst float64
+	for _, s := range stats {
+		if s.RelStdDev() > worst {
+			worst = s.RelStdDev()
+		}
+	}
+	fmt.Printf("  %d tensors, total backward %v, worst rel. stddev %.2f%%\n",
+		len(stats), m.Backward().Round(time.Microsecond), 100*worst)
+
+	fmt.Printf("\ntensor-size census (Figure 11):\n")
+	for _, sc := range trace.SizeCensus(m) {
+		fmt.Printf("  %12d elems x %d tensors\n", sc.Elems, sc.Count)
+	}
+
+	id, err := compress.ParseID(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	spec := compress.Spec{ID: id, Ratio: *ratio}
+	sizes := []int{1 << 12, 1 << 16, 1 << 20, 1 << 22}
+	samples, err := trace.ProfileCompression(spec, sizes, *reps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nhost compression profile for %s (%d reps each):\n", spec, *reps)
+	fmt.Printf("  %10s %14s %14s %12s\n", "elems", "compress", "decompress", "wire bytes")
+	for _, s := range samples {
+		fmt.Printf("  %10d %14v %14v %12d\n", s.Elems,
+			s.Compress.Round(time.Microsecond), s.Decompress.Round(time.Microsecond), s.WireBytes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espresso-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,432 @@
+// Package espresso is a reproduction of "Hi-Speed DNN Training with
+// Espresso: Unleashing the Full Potential of Gradient Compression with
+// Near-Optimal Usage Strategies" (EuroSys 2023). It selects near-optimal
+// gradient-compression usage strategies for synchronous data-parallel
+// DNN training: which tensors to compress, on which device (GPU or CPU),
+// with which communication scheme, and where along the hierarchical
+// communication pipeline to compress and decompress.
+//
+// The public API mirrors the paper's workflow (Figure 6): describe a Job
+// with three specs — the DNN model, the GC algorithm, and the training
+// system — then Select a strategy, Predict its training throughput, or
+// compare against the Baseline systems (FP32/BytePS, HiPress,
+// HiTopKComm, BytePS-Compress) and the compression-free Upper Bound.
+//
+//	job := espresso.Job{
+//	    Model:     espresso.ModelSpec{Preset: "bert-base"},
+//	    Cluster:   espresso.ClusterSpec{Preset: "nvlink", Machines: 8},
+//	    Algorithm: espresso.AlgorithmSpec{Name: "randomk", Ratio: 0.01},
+//	}
+//	strategy, report, err := espresso.Select(job)
+//
+// Everything runs on a deterministic simulated substrate: calibrated α–β
+// communication models, device compression profiles, and a discrete-event
+// timeline engine, with real compression mathematics (error feedback
+// included) underneath.
+package espresso
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"espresso/internal/baselines"
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/core"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+)
+
+// TensorSpec describes one gradient tensor of a custom model, in backward
+// computation order.
+type TensorSpec struct {
+	Name      string  `json:"name"`
+	Elems     int     `json:"elems"`
+	ComputeUs float64 `json:"compute_us"`
+}
+
+// ModelSpec selects a benchmark model by preset name (vgg16, resnet101,
+// ugatit, bert-base, gpt2, lstm) or describes a custom model.
+type ModelSpec struct {
+	Preset string `json:"preset,omitempty"`
+
+	Name      string       `json:"name,omitempty"`
+	Tensors   []TensorSpec `json:"tensors,omitempty"`
+	ForwardUs float64      `json:"forward_us,omitempty"`
+	Batch     int          `json:"batch,omitempty"`
+	BatchUnit string       `json:"batch_unit,omitempty"`
+}
+
+// ClusterSpec selects a testbed preset ("nvlink" or "pcie") and the
+// machine count; fields beyond the preset override its defaults.
+type ClusterSpec struct {
+	Preset         string  `json:"preset"`
+	Machines       int     `json:"machines"`
+	GPUsPerMachine int     `json:"gpus_per_machine,omitempty"`
+	IntraGBps      float64 `json:"intra_gbps,omitempty"` // bytes/s in GB/s
+	InterGbps      float64 `json:"inter_gbps,omitempty"` // bits/s in Gbit/s
+	CPUCores       int     `json:"cpu_cores,omitempty"`
+}
+
+// AlgorithmSpec selects a GC algorithm (fp32, randomk, dgc, topk,
+// efsignsgd, qsgd, terngrad) and its parameters.
+type AlgorithmSpec struct {
+	Name   string  `json:"name"`
+	Ratio  float64 `json:"ratio,omitempty"`
+	Levels int     `json:"levels,omitempty"`
+}
+
+// Constraints prune the strategy search space, §4.2.2's user-facing
+// extension point (e.g. bounding compression rounds to limit
+// approximation error).
+type Constraints struct {
+	// MaxCompressionOps caps compression+decompression operations per
+	// tensor (0 = unlimited).
+	MaxCompressionOps int `json:"max_compression_ops,omitempty"`
+	// ForbidCPU restricts compression to GPUs.
+	ForbidCPU bool `json:"forbid_cpu,omitempty"`
+	// ForbidFlat restricts candidate options to hierarchical
+	// communication. The cluster's default uncompressed scheme remains
+	// admissible as the fallback for tensors left uncompressed.
+	ForbidFlat bool `json:"forbid_flat,omitempty"`
+}
+
+// Job is a DDL training job description — the three configuration inputs
+// of Figure 6, plus optional search-space constraints.
+type Job struct {
+	Model       ModelSpec     `json:"model"`
+	Cluster     ClusterSpec   `json:"cluster"`
+	Algorithm   AlgorithmSpec `json:"algorithm"`
+	Constraints Constraints   `json:"constraints,omitempty"`
+}
+
+// resolved holds the internal representations of a Job.
+type resolved struct {
+	m    *model.Model
+	c    *cluster.Cluster
+	spec compress.Spec
+	cm   *cost.Models
+}
+
+func (j Job) resolve() (*resolved, error) {
+	m, err := j.Model.resolve()
+	if err != nil {
+		return nil, err
+	}
+	c, err := j.Cluster.resolve()
+	if err != nil {
+		return nil, err
+	}
+	id, err := compress.ParseID(j.Algorithm.Name)
+	if err != nil {
+		return nil, err
+	}
+	spec := compress.Spec{ID: id, Ratio: j.Algorithm.Ratio, Levels: j.Algorithm.Levels}
+	cm, err := cost.NewModels(c, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &resolved{m: m, c: c, spec: spec, cm: cm}, nil
+}
+
+func (ms ModelSpec) resolve() (*model.Model, error) {
+	if ms.Preset != "" {
+		return model.ByName(ms.Preset)
+	}
+	if len(ms.Tensors) == 0 {
+		return nil, errors.New("espresso: model spec needs a preset or tensors")
+	}
+	m := &model.Model{
+		Name:      ms.Name,
+		Forward:   time.Duration(ms.ForwardUs * float64(time.Microsecond)),
+		Batch:     ms.Batch,
+		BatchUnit: ms.BatchUnit,
+	}
+	if m.Name == "" {
+		m.Name = "custom"
+	}
+	if m.Batch == 0 {
+		m.Batch = 1
+	}
+	if m.BatchUnit == "" {
+		m.BatchUnit = "samples"
+	}
+	for _, t := range ms.Tensors {
+		m.Tensors = append(m.Tensors, model.Tensor{
+			Name:    t.Name,
+			Elems:   t.Elems,
+			Compute: time.Duration(t.ComputeUs * float64(time.Microsecond)),
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (cs ClusterSpec) resolve() (*cluster.Cluster, error) {
+	machines := cs.Machines
+	if machines == 0 {
+		machines = 1
+	}
+	var c *cluster.Cluster
+	switch cs.Preset {
+	case "nvlink", "":
+		c = cluster.NVLinkTestbed(machines)
+	case "pcie":
+		c = cluster.PCIeTestbed(machines)
+	default:
+		return nil, fmt.Errorf("espresso: unknown cluster preset %q", cs.Preset)
+	}
+	if cs.GPUsPerMachine > 0 {
+		c.GPUsPerMachine = cs.GPUsPerMachine
+	}
+	if cs.IntraGBps > 0 {
+		c.IntraBandwidth = cs.IntraGBps * 1e9
+	}
+	if cs.InterGbps > 0 {
+		c.InterBandwidth = cs.InterGbps * 1e9 / 8
+	}
+	if cs.CPUCores > 0 {
+		c.CPUCores = cs.CPUCores
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c Constraints) toFilters() []strategy.Constraint {
+	var cons []strategy.Constraint
+	if c.MaxCompressionOps > 0 {
+		cons = append(cons, strategy.MaxCompOps(c.MaxCompressionOps))
+	}
+	if c.ForbidFlat {
+		cons = append(cons, strategy.RequireHierarchical())
+	}
+	return cons
+}
+
+// Decision is the selected compression option for one tensor.
+type Decision struct {
+	Tensor     string `json:"tensor"`
+	Elems      int    `json:"elems"`
+	Compressed bool   `json:"compressed"`
+	Device     string `json:"device,omitempty"`
+	Option     string `json:"option"`
+}
+
+// Strategy is a selected (or baseline) compression strategy.
+type Strategy struct {
+	Decisions []Decision `json:"decisions"`
+
+	inner *strategy.Strategy
+	m     *model.Model
+}
+
+// CompressedCount reports how many tensors the strategy compresses.
+func (s *Strategy) CompressedCount() int { return s.inner.CompressedCount() }
+
+// Export serializes the full strategy (every tensor's option sequence) so
+// a selection made offline can be applied later with ImportStrategy.
+func (s *Strategy) Export() ([]byte, error) {
+	return strategy.Marshal(s.inner)
+}
+
+// ImportStrategy loads a strategy exported by Export and validates it
+// against the job: the tensor count must match and every option must be
+// structurally valid for the job's cluster.
+func ImportStrategy(job Job, data []byte) (*Strategy, error) {
+	r, err := job.resolve()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := strategy.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(inner.PerTensor) != len(r.m.Tensors) {
+		return nil, fmt.Errorf("espresso: strategy covers %d tensors, model %s has %d",
+			len(inner.PerTensor), r.m.Name, len(r.m.Tensors))
+	}
+	for i, o := range inner.PerTensor {
+		if err := strategy.Check(o, r.c); err != nil {
+			return nil, fmt.Errorf("espresso: tensor %d: %w", i, err)
+		}
+	}
+	return wrapStrategy(inner, r.m), nil
+}
+
+// Report summarizes a selection or prediction.
+type Report struct {
+	// IterTime is the predicted time of one training iteration.
+	IterTime time.Duration `json:"iter_time"`
+	// Throughput is in samples (images/tokens) per second cluster-wide.
+	Throughput float64 `json:"throughput"`
+	// ScalingFactor is T_n/(n*T_1), the paper's Table 1 metric.
+	ScalingFactor float64 `json:"scaling_factor"`
+	// Unit names the throughput unit.
+	Unit string `json:"unit"`
+
+	// Selection-only fields.
+	SelectionTime     time.Duration `json:"selection_time,omitempty"`
+	Evaluations       int           `json:"evaluations,omitempty"`
+	CompressedTensors int           `json:"compressed_tensors,omitempty"`
+	OffloadedTensors  int           `json:"offloaded_tensors,omitempty"`
+}
+
+func wrapStrategy(s *strategy.Strategy, m *model.Model) *Strategy {
+	out := &Strategy{inner: s, m: m}
+	for i, o := range s.PerTensor {
+		d := Decision{
+			Tensor:     m.Tensors[i].Name,
+			Elems:      m.Tensors[i].Elems,
+			Compressed: o.Compressed(),
+			Option:     o.String(),
+		}
+		if o.Compressed() {
+			if o.AllOn(cost.CPU) {
+				d.Device = "CPU"
+			} else {
+				d.Device = "GPU"
+			}
+		}
+		out.Decisions = append(out.Decisions, d)
+	}
+	return out
+}
+
+func report(r *resolved, iter time.Duration) *Report {
+	return &Report{
+		IterTime:      iter,
+		Throughput:    core.Throughput(r.m, r.c, iter),
+		ScalingFactor: core.ScalingFactor(r.m, r.c, iter),
+		Unit:          r.m.BatchUnit + "/s",
+	}
+}
+
+// Select runs Espresso's decision algorithm (Algorithm 1 plus CPU
+// offloading) and returns the selected strategy with its predicted
+// performance.
+func Select(job Job) (*Strategy, *Report, error) {
+	r, err := job.resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	sel := core.NewSelector(r.m, r.c, r.cm)
+	if cons := job.Constraints.toFilters(); len(cons) > 0 {
+		opts := strategy.Filter(strategy.EnumerateGPU(r.c), cons...)
+		if len(opts) == 0 {
+			return nil, nil, errors.New("espresso: constraints eliminate every option")
+		}
+		sel.SetCandidates(opts)
+	}
+	if job.Constraints.ForbidCPU {
+		sel.SetDevices([]cost.Device{cost.GPU})
+	}
+	s, rep, err := sel.Select()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := report(r, rep.Iter)
+	out.SelectionTime = rep.SelectionTime
+	out.Evaluations = rep.Evals
+	out.CompressedTensors = rep.Compressed
+	out.OffloadedTensors = rep.Offloaded
+	return wrapStrategy(s, r.m), out, nil
+}
+
+// BaselineName identifies a comparison system.
+type BaselineName string
+
+const (
+	FP32           BaselineName = "fp32"
+	HiPress        BaselineName = "hipress"
+	HiTopKComm     BaselineName = "hitopkcomm"
+	BytePSCompress BaselineName = "bytepscompress"
+)
+
+// Baseline returns the strategy the named comparison system would run and
+// its predicted performance.
+func Baseline(name BaselineName, job Job) (*Strategy, *Report, error) {
+	r, err := job.resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	var sys baselines.System
+	switch name {
+	case FP32:
+		sys = baselines.FP32
+	case HiPress:
+		sys = baselines.HiPress
+	case HiTopKComm:
+		sys = baselines.HiTopKComm
+	case BytePSCompress:
+		sys = baselines.BytePSCompress
+	default:
+		return nil, nil, fmt.Errorf("espresso: unknown baseline %q", name)
+	}
+	s, err := baselines.Strategy(sys, r.m, r.c, r.cm)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := timeline.New(r.m, r.c, r.cm)
+	eng.RecordOps = false
+	iter, err := eng.IterTime(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapStrategy(s, r.m), report(r, iter), nil
+}
+
+// UpperBound predicts the throughput of compression-enabled training if
+// compression were free and contention-less (§5.1).
+func UpperBound(job Job) (*Report, error) {
+	r, err := job.resolve()
+	if err != nil {
+		return nil, err
+	}
+	iter, err := core.UpperBound(r.m, r.c, r.cm)
+	if err != nil {
+		return nil, err
+	}
+	return report(r, iter), nil
+}
+
+// Predict evaluates a strategy's iteration time for the job it was built
+// for.
+func Predict(job Job, s *Strategy) (*Report, error) {
+	r, err := job.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if s.m.Name != r.m.Name || len(s.inner.PerTensor) != len(r.m.Tensors) {
+		return nil, fmt.Errorf("espresso: strategy was built for model %s (%d tensors), job has %s (%d)",
+			s.m.Name, len(s.inner.PerTensor), r.m.Name, len(r.m.Tensors))
+	}
+	eng := timeline.New(r.m, r.c, r.cm)
+	eng.RecordOps = false
+	iter, err := eng.IterTime(s.inner)
+	if err != nil {
+		return nil, err
+	}
+	return report(r, iter), nil
+}
+
+// Gantt derives the full timeline of one iteration under s and renders it
+// as a text Gantt chart.
+func Gantt(job Job, s *Strategy) (string, error) {
+	r, err := job.resolve()
+	if err != nil {
+		return "", err
+	}
+	eng := timeline.New(r.m, r.c, r.cm)
+	res, err := eng.Evaluate(s.inner)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("iteration=%v\n%s", res.Iter, res.Gantt()), nil
+}

@@ -1,0 +1,280 @@
+package espresso
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func bertJob() Job {
+	return Job{
+		Model:     ModelSpec{Preset: "bert-base"},
+		Cluster:   ClusterSpec{Preset: "nvlink", Machines: 4},
+		Algorithm: AlgorithmSpec{Name: "randomk", Ratio: 0.01},
+	}
+}
+
+func TestSelectEndToEnd(t *testing.T) {
+	s, rep, err := Select(bertJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Decisions) != 207 {
+		t.Fatalf("%d decisions, want 207", len(s.Decisions))
+	}
+	if rep.IterTime <= 0 || rep.Throughput <= 0 || rep.ScalingFactor <= 0 {
+		t.Fatalf("report not populated: %+v", rep)
+	}
+	if rep.CompressedTensors == 0 {
+		t.Fatal("BERT on 32 GPUs should compress something")
+	}
+	if rep.Unit != "tokens/s" {
+		t.Fatalf("unit = %q", rep.Unit)
+	}
+}
+
+func TestSelectBeatsEveryBaseline(t *testing.T) {
+	job := bertJob()
+	_, rep, err := Select(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []BaselineName{FP32, HiPress, HiTopKComm, BytePSCompress} {
+		_, brep, err := Baseline(name, job)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Throughput < brep.Throughput*0.999 {
+			t.Errorf("Espresso %.0f below %s %.0f", rep.Throughput, name, brep.Throughput)
+		}
+	}
+	ub, err := UpperBound(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput > ub.Throughput*1.001 {
+		t.Errorf("Espresso %.0f above upper bound %.0f", rep.Throughput, ub.Throughput)
+	}
+}
+
+func TestPredictRoundTrip(t *testing.T) {
+	job := bertJob()
+	s, rep, err := Select(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(job, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.IterTime != rep.IterTime {
+		t.Fatalf("Predict %v != Select %v", pred.IterTime, rep.IterTime)
+	}
+}
+
+func TestPredictRejectsWrongModel(t *testing.T) {
+	job := bertJob()
+	s, _, err := Baseline(FP32, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := job
+	other.Model = ModelSpec{Preset: "lstm"}
+	if _, err := Predict(other, s); err == nil {
+		t.Fatal("cross-model prediction accepted")
+	}
+}
+
+func TestCustomModelSpec(t *testing.T) {
+	job := Job{
+		Model: ModelSpec{
+			Name: "tiny",
+			Tensors: []TensorSpec{
+				{Name: "fc2", Elems: 1 << 20, ComputeUs: 500},
+				{Name: "fc1", Elems: 4 << 20, ComputeUs: 2000},
+			},
+			ForwardUs: 1000,
+			Batch:     32,
+			BatchUnit: "images",
+		},
+		Cluster:   ClusterSpec{Preset: "pcie", Machines: 2},
+		Algorithm: AlgorithmSpec{Name: "efsignsgd"},
+	}
+	s, rep, err := Select(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Decisions) != 2 || s.Decisions[0].Tensor != "fc2" {
+		t.Fatalf("decisions = %+v", s.Decisions)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestClusterOverrides(t *testing.T) {
+	job := bertJob()
+	job.Cluster.InterGbps = 400 // a much faster network
+	_, fast, err := Baseline(FP32, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, slow, err := Baseline(FP32, bertJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Throughput <= slow.Throughput {
+		t.Fatalf("400Gbps (%v) should beat 100Gbps (%v)", fast.Throughput, slow.Throughput)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	bad := []Job{
+		{Model: ModelSpec{Preset: "alexnet"}, Cluster: ClusterSpec{Preset: "nvlink", Machines: 2}, Algorithm: AlgorithmSpec{Name: "fp32"}},
+		{Model: ModelSpec{}, Cluster: ClusterSpec{Preset: "nvlink", Machines: 2}, Algorithm: AlgorithmSpec{Name: "fp32"}},
+		{Model: ModelSpec{Preset: "lstm"}, Cluster: ClusterSpec{Preset: "infiniband", Machines: 2}, Algorithm: AlgorithmSpec{Name: "fp32"}},
+		{Model: ModelSpec{Preset: "lstm"}, Cluster: ClusterSpec{Preset: "nvlink", Machines: 2}, Algorithm: AlgorithmSpec{Name: "zstd"}},
+		{Model: ModelSpec{Preset: "lstm"}, Cluster: ClusterSpec{Preset: "nvlink", Machines: 2}, Algorithm: AlgorithmSpec{Name: "dgc", Ratio: 2}},
+	}
+	for i, job := range bad {
+		if _, _, err := Select(job); err == nil {
+			t.Errorf("bad job %d accepted", i)
+		}
+	}
+	if _, _, err := Baseline("nccl", bertJob()); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestJobJSONRoundTrip(t *testing.T) {
+	job := bertJob()
+	buf, err := json.Marshal(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Job
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Model.Preset != "bert-base" || back.Algorithm.Ratio != 0.01 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestGanttOutput(t *testing.T) {
+	job := Job{
+		Model:     ModelSpec{Preset: "lstm"},
+		Cluster:   ClusterSpec{Preset: "nvlink", Machines: 2},
+		Algorithm: AlgorithmSpec{Name: "dgc", Ratio: 0.01},
+	}
+	s, _, err := Baseline(FP32, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Gantt(job, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"iteration=", "gpu", "inter"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("gantt missing %q", want)
+		}
+	}
+}
+
+func TestConstraintsRespected(t *testing.T) {
+	job := Job{
+		Model:       ModelSpec{Preset: "lstm"},
+		Cluster:     ClusterSpec{Preset: "pcie", Machines: 4},
+		Algorithm:   AlgorithmSpec{Name: "efsignsgd"},
+		Constraints: Constraints{MaxCompressionOps: 2, ForbidCPU: true},
+	}
+	s, rep, err := Select(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range s.Decisions {
+		if d.Device == "CPU" {
+			t.Errorf("%s: CPU used despite ForbidCPU", d.Tensor)
+		}
+		// "comp(" matches both comp and decomp steps.
+		if d.Compressed && strings.Count(d.Option, "comp(") > 2 {
+			t.Errorf("%s: too many compression ops: %s", d.Tensor, d.Option)
+		}
+	}
+	// The constrained selection can't beat the unconstrained one.
+	free := job
+	free.Constraints = Constraints{}
+	_, freeRep, err := Select(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IterTime < freeRep.IterTime {
+		t.Errorf("constrained %v beat unconstrained %v", rep.IterTime, freeRep.IterTime)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	job := Job{
+		Model:     ModelSpec{Preset: "lstm"},
+		Cluster:   ClusterSpec{Preset: "pcie", Machines: 4},
+		Algorithm: AlgorithmSpec{Name: "dgc", Ratio: 0.01},
+	}
+	s, rep, err := Select(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := s.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportStrategy(job, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(job, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.IterTime != rep.IterTime {
+		t.Fatalf("imported strategy predicts %v, original %v", pred.IterTime, rep.IterTime)
+	}
+	// Importing into a mismatched job is rejected.
+	other := job
+	other.Model = ModelSpec{Preset: "vgg16"}
+	if _, err := ImportStrategy(other, buf); err == nil {
+		t.Fatal("cross-model import accepted")
+	}
+	if _, err := ImportStrategy(job, []byte("garbage")); err == nil {
+		t.Fatal("garbage import accepted")
+	}
+}
+
+func TestDecisionsAreDescriptive(t *testing.T) {
+	s, _, err := Select(Job{
+		Model:     ModelSpec{Preset: "lstm"},
+		Cluster:   ClusterSpec{Preset: "pcie", Machines: 8},
+		Algorithm: AlgorithmSpec{Name: "efsignsgd"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCompressed := false
+	for _, d := range s.Decisions {
+		if d.Compressed {
+			sawCompressed = true
+			if d.Device != "GPU" && d.Device != "CPU" {
+				t.Errorf("%s: compressed without device: %+v", d.Tensor, d)
+			}
+			if !strings.Contains(d.Option, "comp(") {
+				t.Errorf("%s: option string %q has no compression step", d.Tensor, d.Option)
+			}
+		}
+	}
+	if !sawCompressed {
+		t.Fatal("LSTM on the PCIe testbed should compress tensors")
+	}
+	if s.CompressedCount() == 0 {
+		t.Fatal("CompressedCount inconsistent")
+	}
+}

@@ -1,0 +1,79 @@
+package espresso_test
+
+import (
+	"fmt"
+	"log"
+
+	"espresso"
+)
+
+// Selecting a strategy for a small LSTM job and inspecting the outcome.
+func ExampleSelect() {
+	job := espresso.Job{
+		Model:     espresso.ModelSpec{Preset: "lstm"},
+		Cluster:   espresso.ClusterSpec{Preset: "pcie", Machines: 8},
+		Algorithm: espresso.AlgorithmSpec{Name: "efsignsgd"},
+	}
+	strategy, report, err := espresso.Select(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tensors: %d\n", len(strategy.Decisions))
+	fmt.Printf("compressed: %d\n", report.CompressedTensors)
+	fmt.Printf("beats fp32: %v\n", func() bool {
+		_, fp32, err := espresso.Baseline(espresso.FP32, job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report.Throughput > fp32.Throughput
+	}())
+	// Output:
+	// tensors: 10
+	// compressed: 3
+	// beats fp32: true
+}
+
+// Comparing a baseline system against the compression-free upper bound.
+func ExampleBaseline() {
+	job := espresso.Job{
+		Model:     espresso.ModelSpec{Preset: "lstm"},
+		Cluster:   espresso.ClusterSpec{Preset: "nvlink", Machines: 4},
+		Algorithm: espresso.AlgorithmSpec{Name: "dgc", Ratio: 0.01},
+	}
+	_, hipress, err := espresso.Baseline(espresso.HiPress, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ub, err := espresso.UpperBound(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hipress below upper bound: %v\n", hipress.Throughput < ub.Throughput)
+	// Output:
+	// hipress below upper bound: true
+}
+
+// Describing a custom model instead of using a preset.
+func ExampleModelSpec_custom() {
+	job := espresso.Job{
+		Model: espresso.ModelSpec{
+			Name: "two-layer",
+			Tensors: []espresso.TensorSpec{
+				{Name: "fc2.weight", Elems: 1 << 20, ComputeUs: 800},
+				{Name: "fc1.weight", Elems: 8 << 20, ComputeUs: 3000},
+			},
+			ForwardUs: 2000,
+			Batch:     64,
+			BatchUnit: "images",
+		},
+		Cluster:   espresso.ClusterSpec{Preset: "nvlink", Machines: 2},
+		Algorithm: espresso.AlgorithmSpec{Name: "randomk", Ratio: 0.01},
+	}
+	s, _, err := espresso.Select(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(s.Decisions), "decisions")
+	// Output:
+	// 2 decisions
+}

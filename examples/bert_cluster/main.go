@@ -1,0 +1,66 @@
+// bert_cluster reproduces the Figure 12(a) scenario through the public
+// API: BERT-base with RandomK on the NVLink testbed, sweeping the cluster
+// from 8 to 64 GPUs and comparing Espresso against every baseline system
+// and the compression-free upper bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"espresso"
+)
+
+func main() {
+	systems := []espresso.BaselineName{
+		espresso.FP32, espresso.BytePSCompress, espresso.HiTopKComm, espresso.HiPress,
+	}
+
+	fmt.Printf("%-18s", "tokens/s")
+	for _, machines := range []int{1, 2, 4, 8} {
+		fmt.Printf("%10d GPUs", machines*8)
+	}
+	fmt.Println()
+
+	row := func(name string, f func(job espresso.Job) (float64, error)) {
+		fmt.Printf("%-18s", name)
+		for _, machines := range []int{1, 2, 4, 8} {
+			job := espresso.Job{
+				Model:     espresso.ModelSpec{Preset: "bert-base"},
+				Cluster:   espresso.ClusterSpec{Preset: "nvlink", Machines: machines},
+				Algorithm: espresso.AlgorithmSpec{Name: "randomk", Ratio: 0.01},
+			}
+			th, err := f(job)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%15.0f", th)
+		}
+		fmt.Println()
+	}
+
+	for _, sys := range systems {
+		sys := sys
+		row(string(sys), func(job espresso.Job) (float64, error) {
+			_, rep, err := espresso.Baseline(sys, job)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Throughput, nil
+		})
+	}
+	row("espresso", func(job espresso.Job) (float64, error) {
+		_, rep, err := espresso.Select(job)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Throughput, nil
+	})
+	row("upper-bound", func(job espresso.Job) (float64, error) {
+		rep, err := espresso.UpperBound(job)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Throughput, nil
+	})
+}

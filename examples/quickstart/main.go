@@ -1,0 +1,39 @@
+// Quickstart: select a compression strategy for BERT-base fine-tuning on
+// 8 NVLink machines (64 GPUs) with RandomK sparsification, and compare
+// the predicted throughput against training without compression.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"espresso"
+)
+
+func main() {
+	job := espresso.Job{
+		Model:     espresso.ModelSpec{Preset: "bert-base"},
+		Cluster:   espresso.ClusterSpec{Preset: "nvlink", Machines: 8},
+		Algorithm: espresso.AlgorithmSpec{Name: "randomk", Ratio: 0.01},
+	}
+
+	strategy, report, err := espresso.Select(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected in %v: %d of %d tensors compressed (%d on CPUs)\n",
+		report.SelectionTime, report.CompressedTensors, len(strategy.Decisions), report.OffloadedTensors)
+	fmt.Printf("predicted: %.0f %s at scaling factor %.2f\n",
+		report.Throughput, report.Unit, report.ScalingFactor)
+
+	_, fp32, err := espresso.Baseline(espresso.FP32, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speedup over FP32: %.2fx\n", report.Throughput/fp32.Throughput)
+
+	// The first few per-tensor decisions, in backward order.
+	for _, d := range strategy.Decisions[:5] {
+		fmt.Printf("  %-28s -> %s\n", d.Tensor, d.Option)
+	}
+}

@@ -1,0 +1,67 @@
+// strategy_explorer inspects how Espresso's decisions change with the
+// workload: it selects strategies for VGG16 (few huge tensors) and
+// ResNet101 (hundreds of small ones) on the PCIe testbed, groups the
+// chosen compression options, and renders the first milliseconds of the
+// derived timeline for the VGG16 selection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"espresso"
+)
+
+func explore(preset string) {
+	job := espresso.Job{
+		Model:     espresso.ModelSpec{Preset: preset},
+		Cluster:   espresso.ClusterSpec{Preset: "pcie", Machines: 8},
+		Algorithm: espresso.AlgorithmSpec{Name: "dgc", Ratio: 0.01},
+	}
+	strat, rep, err := espresso.Select(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s: %d tensors, %d compressed (%d on CPUs), iteration %v ==\n",
+		preset, len(strat.Decisions), rep.CompressedTensors, rep.OffloadedTensors, rep.IterTime)
+
+	// Group identical options to see the shape of the strategy.
+	groups := map[string]int{}
+	for _, d := range strat.Decisions {
+		groups[d.Option]++
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return groups[keys[a]] > groups[keys[b]] })
+	for _, k := range keys {
+		fmt.Printf("  %3d tensors: %s\n", groups[k], k)
+	}
+	fmt.Println()
+}
+
+func main() {
+	explore("vgg16")
+	explore("resnet101")
+
+	// Show the head of VGG16's derived timeline.
+	job := espresso.Job{
+		Model:     espresso.ModelSpec{Preset: "vgg16"},
+		Cluster:   espresso.ClusterSpec{Preset: "pcie", Machines: 8},
+		Algorithm: espresso.AlgorithmSpec{Name: "dgc", Ratio: 0.01},
+	}
+	strat, _, err := espresso.Select(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gantt, err := espresso.Gantt(job, strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.SplitN(gantt, "\n", 25)
+	fmt.Println("timeline head:")
+	fmt.Println(strings.Join(lines[:len(lines)-1], "\n"))
+}

@@ -1,0 +1,172 @@
+package espresso_test
+
+// Integration tests spanning the whole pipeline of Figure 6: profile a
+// job, build its model description, select a strategy, execute it on the
+// data plane with real bytes, and train a real model through the same
+// stack.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/core"
+	"espresso/internal/cost"
+	"espresso/internal/ddl"
+	"espresso/internal/model"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+	"espresso/internal/trace"
+	"espresso/internal/train"
+)
+
+// The offline-to-runtime loop: traces of a "real" job feed the model
+// config, the selector picks a strategy, the executor runs it with real
+// gradients, and the timeline's prediction is internally consistent.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Offline profiling (§4.3): noisy traces, averaged.
+	truth := model.LSTM()
+	stats := trace.CollectCompute(truth, 100, 0.04, 9)
+	m := trace.ModelFromStats(truth.Name, stats, truth.Forward, truth.Batch, truth.BatchUnit)
+
+	// 2. Strategy selection on the reconstructed model.
+	c := cluster.PCIeTestbed(2)
+	c.GPUsPerMachine = 2
+	spec := compress.Spec{ID: compress.RandomK, Ratio: 0.01}
+	cm, err := cost.NewModels(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := core.NewSelector(m, c, cm)
+	s, rep, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reconstructed model's prediction matches the ground-truth
+	// model's (traces were faithful within noise).
+	engTruth := timeline.New(truth, c, cm)
+	engTruth.RecordOps = false
+	truthIter, err := engTruth.IterTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := math.Abs(float64(truthIter-rep.Iter)) / float64(truthIter)
+	if drift > 0.05 {
+		t.Fatalf("traced model drifts %.1f%% from ground truth", 100*drift)
+	}
+
+	// 3. Run-time execution with real bytes (scaled-down tensors).
+	x, err := ddl.NewExecutor(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for it := 0; it < 3; it++ {
+		for ti := range m.Tensors {
+			grads := make([][]float32, c.TotalGPUs())
+			for g := range grads {
+				grads[g] = make([]float32, 512)
+				for j := range grads[g] {
+					grads[g][j] = float32(rng.NormFloat64())
+				}
+			}
+			out, err := x.SyncTensor(m.Tensors[ti].Name, grads, s.PerTensor[ti], uint64(it))
+			if err != nil {
+				t.Fatalf("iter %d tensor %d: %v", it, ti, err)
+			}
+			for g := 1; g < len(out); g++ {
+				for j := range out[g] {
+					if out[g][j] != out[0][j] {
+						t.Fatalf("iter %d tensor %d: replicas diverged", it, ti)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Training through the exact strategy Espresso selects (not a hand-built
+// option): accuracy survives the full selected pipeline.
+func TestTrainingUnderSelectedStrategy(t *testing.T) {
+	c := cluster.PCIeTestbed(2)
+	c.GPUsPerMachine = 2
+	spec := compress.Spec{ID: compress.EFSignSGD}
+	cm, err := cost.NewModels(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Describe the logistic model as a 2-tensor job and select for it.
+	lm := model.Synthetic("logreg", []int{20, 1},
+		[]time.Duration{200 * time.Microsecond, 50 * time.Microsecond}, 100*time.Microsecond)
+	sel := core.NewSelector(lm, c, cm)
+	s, _, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train with each tensor synchronized under its selected option.
+	// train.Run applies a single option to every tensor, so train with
+	// the option chosen for the dominant weight tensor.
+	opt := s.PerTensor[0]
+	ds := train.SyntheticLinear(1500, 20, 0.02, 11)
+	hist, err := train.Run(train.NewLogistic(20), ds, train.Config{
+		Cluster: c, Spec: spec, Option: opt,
+		LR: 0.5, Batch: 16, Iters: 150, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := hist.Final().Accuracy; acc < 0.9 {
+		t.Fatalf("accuracy %.3f under the selected strategy", acc)
+	}
+}
+
+// The strategy abstraction is the shared contract: every option the
+// selector can emit is executable by the data plane.
+func TestSelectedStrategiesAlwaysExecutable(t *testing.T) {
+	c := cluster.NVLinkTestbed(2)
+	c.GPUsPerMachine = 2
+	for _, spec := range []compress.Spec{
+		{ID: compress.DGC, Ratio: 0.05},
+		{ID: compress.EFSignSGD},
+	} {
+		cm, err := cost.NewModels(c, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := model.VGG16()
+		sel := core.NewSelector(m, c, cm)
+		s, _, err := sel.Select()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := ddl.NewExecutor(c, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		seen := map[string]bool{}
+		for ti, opt := range s.PerTensor {
+			if seen[opt.Key()] {
+				continue // one execution per distinct option suffices
+			}
+			seen[opt.Key()] = true
+			grads := make([][]float32, c.TotalGPUs())
+			for g := range grads {
+				grads[g] = make([]float32, 128)
+				for j := range grads[g] {
+					grads[g][j] = float32(rng.NormFloat64())
+				}
+			}
+			if _, err := x.SyncTensor(m.Tensors[ti].Name, grads, opt, 1); err != nil {
+				t.Fatalf("%v: selected option %v not executable: %v", spec, opt, err)
+			}
+		}
+	}
+	_ = strategy.NoCompression
+}

@@ -1,0 +1,460 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// --- FP32 passthrough ---
+
+type fp32 struct{ spec Spec }
+
+func (c fp32) Spec() Spec { return c.spec }
+
+func (c fp32) Compress(x []float32, _ uint64) *Payload {
+	vals := make([]float32, len(x))
+	copy(vals, x)
+	return &Payload{Algo: FP32, N: len(x), Values: vals}
+}
+
+func (c fp32) Decompress(p *Payload, out []float32) error {
+	if err := checkRegion(p, out, FP32); err != nil {
+		return err
+	}
+	copy(out, p.Values)
+	return nil
+}
+
+func (c fp32) WireBytes(n int) int { return payloadHeaderBytes + 4*n }
+
+// --- RandomK sparsification ---
+
+type randomK struct{ spec Spec }
+
+func (c randomK) Spec() Spec { return c.spec }
+
+// Compress keeps k elements chosen by a seeded Floyd sample, so every
+// worker running with the same seed selects the same coordinates.
+func (c randomK) Compress(x []float32, seed uint64) *Payload {
+	n := len(x)
+	if n == 0 {
+		return &Payload{Algo: RandomK}
+	}
+	k := keepCount(c.spec.Ratio, n)
+	rng := splitmix64(seed)
+	idx := floydSample(&rng, n, k)
+	vals := make([]float32, k)
+	for i, j := range idx {
+		vals[i] = x[j]
+	}
+	return &Payload{Algo: RandomK, N: n, Indices: idx, Values: vals}
+}
+
+func (c randomK) Decompress(p *Payload, out []float32) error {
+	return scatter(p, out, RandomK)
+}
+
+func (c randomK) WireBytes(n int) int {
+	return sparseWireBytes(keepCount(c.spec.Ratio, n))
+}
+
+// floydSample draws k distinct indices from [0,n) with Robert Floyd's
+// algorithm, returned sorted ascending.
+func floydSample(rng *splitmix64, n, k int) []int32 {
+	chosen := make(map[int32]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := int32(rng.intn(j + 1))
+		if _, dup := chosen[t]; dup {
+			t = int32(j)
+		}
+		chosen[t] = struct{}{}
+	}
+	idx := make([]int32, 0, k)
+	for i := range chosen {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	return idx
+}
+
+// --- DGC (sampled-threshold top-k) sparsification ---
+
+type dgc struct{ spec Spec }
+
+func (c dgc) Spec() Spec { return c.spec }
+
+// Compress selects approximately ratio*n largest-magnitude elements using
+// DGC's sampled-threshold procedure: estimate the magnitude threshold from
+// a random sample, select everything above it, then trim or backfill to
+// exactly k so the wire size stays deterministic (a requirement of §4.3).
+func (c dgc) Compress(x []float32, seed uint64) *Payload {
+	n := len(x)
+	if n == 0 {
+		return &Payload{Algo: DGC}
+	}
+	k := keepCount(c.spec.Ratio, n)
+	rng := splitmix64(seed)
+
+	// Sample max(1%, 4k-capped) of the tensor to estimate the
+	// threshold, as the DGC reference implementation does.
+	sampleN := n / 100
+	if sampleN < 64 {
+		sampleN = 64
+	}
+	if sampleN > n {
+		sampleN = n
+	}
+	sample := make([]float32, sampleN)
+	for i := range sample {
+		v := x[rng.intn(n)]
+		if v < 0 {
+			v = -v
+		}
+		sample[i] = v
+	}
+	// Threshold at the magnitude whose sample rank matches ratio.
+	rank := int(float64(sampleN) * (1 - c.spec.Ratio))
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= sampleN {
+		rank = sampleN - 1
+	}
+	sort.Slice(sample, func(a, b int) bool { return sample[a] < sample[b] })
+	thresh := sample[rank]
+
+	idx := make([]int32, 0, k+k/4)
+	for i, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v >= thresh {
+			idx = append(idx, int32(i))
+		}
+	}
+	idx = fitToK(x, idx, k)
+	vals := make([]float32, k)
+	for i, j := range idx {
+		vals[i] = x[j]
+	}
+	return &Payload{Algo: DGC, N: n, Indices: idx, Values: vals}
+}
+
+func (c dgc) Decompress(p *Payload, out []float32) error {
+	return scatter(p, out, DGC)
+}
+
+func (c dgc) WireBytes(n int) int {
+	return sparseWireBytes(keepCount(c.spec.Ratio, n))
+}
+
+// fitToK trims the selection to the k largest magnitudes if it overshot,
+// or backfills with the largest remaining magnitudes if it undershot,
+// returning exactly k sorted indices.
+func fitToK(x []float32, idx []int32, k int) []int32 {
+	if len(idx) > k {
+		sort.Slice(idx, func(a, b int) bool {
+			return mag(x[idx[a]]) > mag(x[idx[b]])
+		})
+		idx = idx[:k]
+	} else if len(idx) < k {
+		selected := make(map[int32]struct{}, len(idx))
+		for _, i := range idx {
+			selected[i] = struct{}{}
+		}
+		rest := make([]int32, 0, len(x)-len(idx))
+		for i := range x {
+			if _, ok := selected[int32(i)]; !ok {
+				rest = append(rest, int32(i))
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool {
+			return mag(x[rest[a]]) > mag(x[rest[b]])
+		})
+		idx = append(idx, rest[:k-len(idx)]...)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	return idx
+}
+
+func mag(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// --- exact TopK sparsification (extension) ---
+
+type topK struct{ spec Spec }
+
+func (c topK) Spec() Spec { return c.spec }
+
+func (c topK) Compress(x []float32, _ uint64) *Payload {
+	n := len(x)
+	if n == 0 {
+		return &Payload{Algo: TopK}
+	}
+	k := keepCount(c.spec.Ratio, n)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return mag(x[idx[a]]) > mag(x[idx[b]]) })
+	idx = idx[:k]
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	vals := make([]float32, k)
+	for i, j := range idx {
+		vals[i] = x[j]
+	}
+	return &Payload{Algo: TopK, N: n, Indices: idx, Values: vals}
+}
+
+func (c topK) Decompress(p *Payload, out []float32) error {
+	return scatter(p, out, TopK)
+}
+
+func (c topK) WireBytes(n int) int {
+	return sparseWireBytes(keepCount(c.spec.Ratio, n))
+}
+
+// --- EFSignSGD 1-bit quantization ---
+
+type efSign struct{ spec Spec }
+
+func (c efSign) Spec() Spec { return c.spec }
+
+// Compress emits one sign bit per element plus the mean absolute value as
+// the shared scale, the EFSignSGD encoding.
+func (c efSign) Compress(x []float32, _ uint64) *Payload {
+	n := len(x)
+	bits := make([]byte, (n+7)/8)
+	var sum float64
+	for i, v := range x {
+		if v >= 0 {
+			bits[i/8] |= 1 << (i % 8)
+		}
+		sum += math.Abs(float64(v))
+	}
+	scale := float32(0)
+	if n > 0 {
+		scale = float32(sum / float64(n))
+	}
+	return &Payload{Algo: EFSignSGD, N: n, Bits: bits, Scale: scale}
+}
+
+func (c efSign) Decompress(p *Payload, out []float32) error {
+	if err := checkRegion(p, out, EFSignSGD); err != nil {
+		return err
+	}
+	if want := (p.N + 7) / 8; len(p.Bits) != want {
+		return fmt.Errorf("compress: efsignsgd bitmap has %d bytes, want %d", len(p.Bits), want)
+	}
+	for i := range out {
+		if p.Bits[i/8]&(1<<(i%8)) != 0 {
+			out[i] = p.Scale
+		} else {
+			out[i] = -p.Scale
+		}
+	}
+	return nil
+}
+
+func (c efSign) WireBytes(n int) int {
+	return payloadHeaderBytes + 4 + (n+7)/8
+}
+
+// --- QSGD stochastic quantization (extension) ---
+
+type qsgd struct{ spec Spec }
+
+func (c qsgd) Spec() Spec { return c.spec }
+
+// Compress quantizes x to spec.Levels non-negative magnitude levels with
+// stochastic rounding; each element takes one sign bit plus
+// ceil(log2(levels+1)) magnitude bits, packed little-endian.
+func (c qsgd) Compress(x []float32, seed uint64) *Payload {
+	n := len(x)
+	levels := c.spec.Levels
+	rng := splitmix64(seed)
+	var norm float64
+	for _, v := range x {
+		norm += float64(v) * float64(v)
+	}
+	norm = math.Sqrt(norm)
+	scale := float32(norm)
+	bitsPer := qsgdBitsPerElem(levels)
+	bits := make([]byte, (n*bitsPer+7)/8)
+	for i, v := range x {
+		code := uint64(0) // sign in lowest bit
+		if v >= 0 {
+			code = 1
+		}
+		level := uint64(0)
+		if norm > 0 {
+			u := math.Abs(float64(v)) / norm * float64(levels)
+			floor := math.Floor(u)
+			level = uint64(floor)
+			if rng.float64() < u-floor {
+				level++
+			}
+			if level > uint64(levels) {
+				level = uint64(levels)
+			}
+		}
+		code |= level << 1
+		putBits(bits, i*bitsPer, bitsPer, code)
+	}
+	return &Payload{Algo: QSGD, N: n, Bits: bits, Scale: scale}
+}
+
+func (c qsgd) Decompress(p *Payload, out []float32) error {
+	if err := checkRegion(p, out, QSGD); err != nil {
+		return err
+	}
+	levels := c.spec.Levels
+	bitsPer := qsgdBitsPerElem(levels)
+	if want := (p.N*bitsPer + 7) / 8; len(p.Bits) != want {
+		return fmt.Errorf("compress: qsgd bitmap has %d bytes, want %d", len(p.Bits), want)
+	}
+	for i := range out {
+		code := getBits(p.Bits, i*bitsPer, bitsPer)
+		level := code >> 1
+		v := p.Scale * float32(level) / float32(levels)
+		if code&1 == 0 {
+			v = -v
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+func (c qsgd) WireBytes(n int) int {
+	return payloadHeaderBytes + 4 + (n*qsgdBitsPerElem(c.spec.Levels)+7)/8
+}
+
+func qsgdBitsPerElem(levels int) int {
+	b := 1 // sign
+	for l := levels; l > 0; l >>= 1 {
+		b++
+	}
+	return b
+}
+
+// --- TernGrad ternary quantization (extension) ---
+
+type ternGrad struct{ spec Spec }
+
+func (c ternGrad) Spec() Spec { return c.spec }
+
+// Compress maps each element to {-1, 0, +1} * max|x| with stochastic
+// rounding, packing 2 bits per element.
+func (c ternGrad) Compress(x []float32, seed uint64) *Payload {
+	n := len(x)
+	rng := splitmix64(seed)
+	var maxAbs float64
+	for _, v := range x {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	bits := make([]byte, (2*n+7)/8)
+	for i, v := range x {
+		code := uint64(0) // 0 => zero, 1 => +scale, 2 => -scale
+		if maxAbs > 0 {
+			p := math.Abs(float64(v)) / maxAbs
+			if rng.float64() < p {
+				if v >= 0 {
+					code = 1
+				} else {
+					code = 2
+				}
+			}
+		}
+		putBits(bits, 2*i, 2, code)
+	}
+	return &Payload{Algo: TernGrad, N: n, Bits: bits, Scale: float32(maxAbs)}
+}
+
+func (c ternGrad) Decompress(p *Payload, out []float32) error {
+	if err := checkRegion(p, out, TernGrad); err != nil {
+		return err
+	}
+	if want := (2*p.N + 7) / 8; len(p.Bits) != want {
+		return fmt.Errorf("compress: terngrad bitmap has %d bytes, want %d", len(p.Bits), want)
+	}
+	for i := range out {
+		switch getBits(p.Bits, 2*i, 2) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = p.Scale
+		case 2:
+			out[i] = -p.Scale
+		default:
+			return fmt.Errorf("compress: terngrad code 3 at element %d", i)
+		}
+	}
+	return nil
+}
+
+func (c ternGrad) WireBytes(n int) int {
+	return payloadHeaderBytes + 4 + (2*n+7)/8
+}
+
+// --- shared helpers ---
+
+func checkRegion(p *Payload, out []float32, want ID) error {
+	if p.Algo != want {
+		return fmt.Errorf("compress: payload algo %v, decompressor %v", p.Algo, want)
+	}
+	if len(out) != p.N {
+		return fmt.Errorf("compress: out has %d elements, payload covers %d", len(out), p.N)
+	}
+	return nil
+}
+
+// scatter writes a sparse payload into a zeroed dense region.
+func scatter(p *Payload, out []float32, want ID) error {
+	if err := checkRegion(p, out, want); err != nil {
+		return err
+	}
+	if len(p.Indices) != len(p.Values) {
+		return fmt.Errorf("compress: %d indices vs %d values", len(p.Indices), len(p.Values))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for i, j := range p.Indices {
+		if j < 0 || int(j) >= p.N {
+			return fmt.Errorf("compress: index %d outside region of %d", j, p.N)
+		}
+		out[j] = p.Values[i]
+	}
+	return nil
+}
+
+// sparseWireBytes is the encoded size of k (index, value) pairs.
+func sparseWireBytes(k int) int { return payloadHeaderBytes + 8*k }
+
+// putBits writes the low width bits of code at bit offset off.
+func putBits(buf []byte, off, width int, code uint64) {
+	for b := 0; b < width; b++ {
+		if code&(1<<b) != 0 {
+			buf[(off+b)/8] |= 1 << ((off + b) % 8)
+		}
+	}
+}
+
+// getBits reads width bits at bit offset off.
+func getBits(buf []byte, off, width int) uint64 {
+	var code uint64
+	for b := 0; b < width; b++ {
+		if buf[(off+b)/8]&(1<<((off+b)%8)) != 0 {
+			code |= 1 << b
+		}
+	}
+	return code
+}

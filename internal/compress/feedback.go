@@ -1,0 +1,80 @@
+package compress
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ErrorFeedback wraps a Compressor with the error-feedback mechanism
+// (Karimireddy et al.; Lin et al.): the residual between the corrected
+// gradient and its compressed representation is remembered and added to
+// the next iteration's gradient. This is what lets aggressive GC preserve
+// convergence (§2.3), and §5.1 applies it on both GPU and CPU compression.
+//
+// Memory is keyed by tensor name, one residual per tensor per worker.
+// ErrorFeedback is safe for concurrent use by multiple goroutines.
+type ErrorFeedback struct {
+	c   Compressor
+	mu  sync.Mutex
+	mem map[string][]float32
+}
+
+// NewErrorFeedback wraps c.
+func NewErrorFeedback(c Compressor) *ErrorFeedback {
+	return &ErrorFeedback{c: c, mem: make(map[string][]float32)}
+}
+
+// Compressor returns the wrapped compressor.
+func (ef *ErrorFeedback) Compressor() Compressor { return ef.c }
+
+// Compress applies error feedback around the wrapped compressor: it
+// corrects grad with the stored residual for key, compresses the corrected
+// gradient, and stores the new residual. grad is not modified.
+func (ef *ErrorFeedback) Compress(key string, grad []float32, seed uint64) (*Payload, error) {
+	ef.mu.Lock()
+	residual := ef.mem[key]
+	ef.mu.Unlock()
+	if residual != nil && len(residual) != len(grad) {
+		return nil, fmt.Errorf("compress: residual for %q has %d elements, gradient has %d", key, len(residual), len(grad))
+	}
+
+	corrected := make([]float32, len(grad))
+	copy(corrected, grad)
+	if residual != nil {
+		for i, r := range residual {
+			corrected[i] += r
+		}
+	}
+	p := ef.c.Compress(corrected, seed)
+
+	recon := make([]float32, len(grad))
+	if err := ef.c.Decompress(p, recon); err != nil {
+		return nil, err
+	}
+	newResidual := corrected // reuse: corrected - recon
+	for i := range newResidual {
+		newResidual[i] -= recon[i]
+	}
+	ef.mu.Lock()
+	ef.mem[key] = newResidual
+	ef.mu.Unlock()
+	return p, nil
+}
+
+// Residual returns a copy of the stored residual for key, or nil.
+func (ef *ErrorFeedback) Residual(key string) []float32 {
+	ef.mu.Lock()
+	defer ef.mu.Unlock()
+	r := ef.mem[key]
+	if r == nil {
+		return nil
+	}
+	return append([]float32(nil), r...)
+}
+
+// Reset drops all stored residuals.
+func (ef *ErrorFeedback) Reset() {
+	ef.mu.Lock()
+	defer ef.mu.Unlock()
+	ef.mem = make(map[string][]float32)
+}

@@ -1,0 +1,166 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// payloadHeaderBytes is the fixed wire overhead of every payload:
+// algo(1) + flags(1) + n(4) + base(4) + counts(4).
+const payloadHeaderBytes = 14
+
+// Encode serializes p to the deterministic little-endian wire format the
+// communication library exchanges. The layout is:
+//
+//	byte  0    algorithm ID
+//	byte  1    flags (bit0: has scale)
+//	bytes 2-5  N (uint32)
+//	bytes 6-9  Base (uint32)
+//	bytes 10-13 count of indices/values OR bitmap length (uint32)
+//	[scale float32]
+//	[indices int32...][values float32...] | [bitmap...]
+func Encode(p *Payload) []byte {
+	hasScale := p.Algo == EFSignSGD || p.Algo == QSGD || p.Algo == TernGrad
+	size := payloadHeaderBytes
+	if hasScale {
+		size += 4
+	}
+	if len(p.Bits) > 0 || !sparseLike(p.Algo) && p.Algo != FP32 {
+		size += len(p.Bits)
+	} else if p.Algo == FP32 {
+		size += 4 * len(p.Values)
+	} else {
+		size += 8 * len(p.Indices)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(p.Algo), flagByte(hasScale))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.N))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Base))
+	switch {
+	case p.Algo == FP32:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Values)))
+		for _, v := range p.Values {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	case sparseLike(p.Algo):
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Indices)))
+		for _, i := range p.Indices {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+		}
+		for _, v := range p.Values {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	default:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Bits)))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Scale))
+		buf = append(buf, p.Bits...)
+	}
+	return buf
+}
+
+// Decode parses a payload produced by Encode.
+func Decode(buf []byte) (*Payload, error) {
+	if len(buf) < payloadHeaderBytes {
+		return nil, fmt.Errorf("compress: wire payload of %d bytes shorter than header", len(buf))
+	}
+	p := &Payload{
+		Algo: ID(buf[0]),
+		N:    int(binary.LittleEndian.Uint32(buf[2:])),
+		Base: int(binary.LittleEndian.Uint32(buf[6:])),
+	}
+	count := int(binary.LittleEndian.Uint32(buf[10:]))
+	rest := buf[payloadHeaderBytes:]
+	switch {
+	case p.Algo == FP32:
+		if len(rest) < 4*count {
+			return nil, fmt.Errorf("compress: fp32 payload truncated: %d bytes for %d values", len(rest), count)
+		}
+		p.Values = make([]float32, count)
+		for i := range p.Values {
+			p.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+	case sparseLike(p.Algo):
+		if len(rest) < 8*count {
+			return nil, fmt.Errorf("compress: sparse payload truncated: %d bytes for %d pairs", len(rest), count)
+		}
+		p.Indices = make([]int32, count)
+		p.Values = make([]float32, count)
+		for i := range p.Indices {
+			p.Indices[i] = int32(binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+		vals := rest[4*count:]
+		for i := range p.Values {
+			p.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(vals[4*i:]))
+		}
+	default:
+		if len(rest) < 4+count {
+			return nil, fmt.Errorf("compress: quantized payload truncated: %d bytes for %d bitmap bytes", len(rest), count)
+		}
+		p.Scale = math.Float32frombits(binary.LittleEndian.Uint32(rest))
+		p.Bits = make([]byte, count)
+		copy(p.Bits, rest[4:4+count])
+	}
+	return p, nil
+}
+
+func sparseLike(id ID) bool { return id == RandomK || id == DGC || id == TopK }
+
+func flagByte(hasScale bool) byte {
+	if hasScale {
+		return 1
+	}
+	return 0
+}
+
+// Slice extracts the sub-payload covering dense elements [lo, hi) of the
+// region p describes (offsets relative to p.Base). Divisible schemes use
+// it to partition a compressed tensor into per-node parts (Figure 4).
+// Slicing is supported for sparse payloads and the bitmap quantizers.
+func Slice(p *Payload, lo, hi int) (*Payload, error) {
+	if lo < 0 || hi > p.N || lo > hi {
+		return nil, fmt.Errorf("compress: slice [%d,%d) outside region of %d", lo, hi, p.N)
+	}
+	out := &Payload{Algo: p.Algo, N: hi - lo, Base: p.Base + lo, Scale: p.Scale}
+	switch {
+	case p.Algo == FP32:
+		out.Values = append([]float32(nil), p.Values[lo:hi]...)
+	case sparseLike(p.Algo):
+		for i, j := range p.Indices {
+			if int(j) >= lo && int(j) < hi {
+				out.Indices = append(out.Indices, j-int32(lo))
+				out.Values = append(out.Values, p.Values[i])
+			}
+		}
+	default:
+		bitsPer := 1
+		switch p.Algo {
+		case TernGrad:
+			bitsPer = 2
+		case QSGD:
+			return nil, fmt.Errorf("compress: QSGD payloads are sliced by recompression, not bit slicing")
+		}
+		out.Bits = make([]byte, (out.N*bitsPer+7)/8)
+		for i := 0; i < out.N*bitsPer; i++ {
+			if p.Bits[(lo*bitsPer+i)/8]&(1<<((lo*bitsPer+i)%8)) != 0 {
+				out.Bits[i/8] |= 1 << (i % 8)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ShardBounds splits n dense elements into parts near-equal contiguous
+// ranges and returns the part boundaries (len parts+1). Every divisible
+// scheme in the communication library uses the same boundaries so shards
+// line up across nodes.
+func ShardBounds(n, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	bounds := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		bounds[i] = i * n / parts
+	}
+	return bounds
+}

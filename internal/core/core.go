@@ -1,0 +1,587 @@
+// Package core implements Espresso's compression decision algorithm
+// (§4.4), the paper's primary contribution: Algorithm 1 selects a
+// near-optimal GPU compression strategy by analyzing tensor interactions,
+// and Algorithm 2 provably-optimally offloads compression from GPUs to
+// CPUs. The package also provides the Upper Bound of §5.1 and a
+// brute-force reference used to validate near-optimality on small
+// problems.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+)
+
+// Report describes one strategy selection.
+type Report struct {
+	// SelectionTime is the total wall-clock time of Select; Alg1Time
+	// and OffloadTime split it (Tables 5 and 6).
+	SelectionTime time.Duration
+	Alg1Time      time.Duration
+	OffloadTime   time.Duration
+
+	// Evals counts timeline evaluations F(S).
+	Evals int
+	// Candidates is |C_gpu|, the per-tensor GPU option set size.
+	Candidates int
+	// OffloadSearch is the size of Algorithm 2's search space,
+	// prod(|G_i|+1).
+	OffloadSearch int
+	// OffloadTensors is |T_gpu|, the tensors eligible for offloading.
+	OffloadTensors int
+
+	// Compressed and Offloaded count tensors compressed at all and
+	// tensors whose compression moved to CPUs.
+	Compressed int
+	Offloaded  int
+	// Ruled counts tensors ruled out by bubble analysis (Property #1).
+	Ruled int
+
+	// Iter is the predicted iteration time F(S) of the selection.
+	Iter time.Duration
+}
+
+// Selector selects compression strategies for one (model, cluster, GC)
+// configuration. Not safe for concurrent use.
+type Selector struct {
+	M    *model.Model
+	C    *cluster.Cluster
+	Cost *cost.Models
+
+	// SkipBubbleAnalysis disables Property #1 (ruling out tensors
+	// communicated before bubbles); ablation only.
+	SkipBubbleAnalysis bool
+	// NaiveOrder disables Property #2 (size-then-position ordering) and
+	// sweeps tensors in backward index order instead; ablation only.
+	NaiveOrder bool
+
+	eng        *timeline.Engine
+	candidates []strategy.Option
+	devices    []cost.Device
+
+	// dedupBySize caches, per distinct tensor size, the candidates with
+	// pairwise-distinct job chains: options inducing identical chains
+	// have identical F(S) effects, so evaluating one representative is
+	// sound and cuts the sweep cost roughly in half.
+	dedupBySize map[int][]strategy.Option
+}
+
+// NewSelector builds a selector with the full GPU candidate set C_gpu.
+func NewSelector(m *model.Model, c *cluster.Cluster, cm *cost.Models) *Selector {
+	eng := timeline.New(m, c, cm)
+	eng.RecordOps = false
+	return &Selector{
+		M: m, C: c, Cost: cm,
+		eng:        eng,
+		candidates: strategy.EnumerateGPU(c),
+		devices:    []cost.Device{cost.GPU, cost.CPU},
+	}
+}
+
+// SetCandidates restricts the per-tensor option set — the Dimension 3/4
+// cripples of §5.3 and the brute-force validation use this.
+func (sel *Selector) SetCandidates(opts []strategy.Option) {
+	sel.candidates = opts
+	sel.dedupBySize = nil
+}
+
+// SetDevices restricts the compute resources considered for compression
+// (the Dimension 2 cripple of §5.3). With only cost.CPU, the candidate
+// set is rewritten to CPU devices; with only cost.GPU, CPU offloading and
+// CPU seeds are skipped.
+func (sel *Selector) SetDevices(devs []cost.Device) {
+	sel.devices = devs
+	if len(devs) == 1 && devs[0] == cost.CPU {
+		cands := make([]strategy.Option, len(sel.candidates))
+		for i, o := range sel.candidates {
+			if o.Compressed() {
+				o = o.WithDevice(cost.CPU)
+			}
+			cands[i] = o
+		}
+		sel.candidates = cands
+		sel.dedupBySize = nil
+	}
+}
+
+func (sel *Selector) allows(dev cost.Device) bool {
+	for _, d := range sel.devices {
+		if d == dev {
+			return true
+		}
+	}
+	return false
+}
+
+// allowsCPU reports whether CPU offloading applies: it moves compression
+// from GPUs to CPUs, so both device types must be allowed.
+func (sel *Selector) allowsCPU() bool {
+	return sel.allows(cost.CPU) && sel.allows(cost.GPU)
+}
+
+// Select runs the full pipeline: Algorithm 1 then CPU offloading.
+func (sel *Selector) Select() (*strategy.Strategy, *Report, error) {
+	start := time.Now()
+	rep := &Report{Candidates: len(sel.candidates)}
+
+	s, err := sel.Algorithm1(rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Alg1Time = time.Since(start)
+
+	offStart := time.Now()
+	if sel.allowsCPU() {
+		s, err = sel.OffloadCPU(s, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	rep.OffloadTime = time.Since(offStart)
+	rep.SelectionTime = time.Since(start)
+
+	rep.Compressed = s.CompressedCount()
+	iter, err := sel.iter(s, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Iter = iter
+	return s, rep, nil
+}
+
+func (sel *Selector) iter(s *strategy.Strategy, rep *Report) (time.Duration, error) {
+	if err := sel.eng.Prepare(s); err != nil {
+		return 0, err
+	}
+	r, err := sel.eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	if rep != nil {
+		rep.Evals++
+	}
+	return r.Iter, nil
+}
+
+// candidatesFor returns the candidate options for tensor idx with
+// duplicate-chain options removed. Chains depend only on tensor size, so
+// the result is cached per size.
+func (sel *Selector) candidatesFor(idx int) ([]strategy.Option, error) {
+	size := sel.M.Tensors[idx].Elems
+	if cached, ok := sel.dedupBySize[size]; ok {
+		return cached, nil
+	}
+	if sel.dedupBySize == nil {
+		sel.dedupBySize = make(map[int][]strategy.Option)
+	}
+	seen := make(map[string]bool, len(sel.candidates))
+	var out []strategy.Option
+	for _, cand := range sel.candidates {
+		key, err := sel.eng.ChainKey(idx, cand)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, cand)
+		}
+	}
+	sel.dedupBySize[size] = out
+	return out, nil
+}
+
+// order returns tensor indices sorted for Algorithm 1, lines 2-3:
+// descending size, and within a size group ascending distance to the
+// output layer (Property #2 — the tensor computed last in backward
+// propagation has distance zero and goes first).
+func (sel *Selector) order() []int {
+	idxs := make([]int, len(sel.M.Tensors))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	if sel.NaiveOrder {
+		return idxs
+	}
+	sort.SliceStable(idxs, func(a, b int) bool {
+		ta, tb := sel.M.Tensors[idxs[a]], sel.M.Tensors[idxs[b]]
+		if ta.Elems != tb.Elems {
+			return ta.Elems > tb.Elems
+		}
+		return sel.M.DistanceToOutput(idxs[a]) < sel.M.DistanceToOutput(idxs[b])
+	})
+	return idxs
+}
+
+// removeBeforeBubbles implements Remove() of Algorithm 1 (Property #1):
+// derive the communication timeline under the current strategy and rule
+// out the uncompressed tensors communicated before bubbles.
+func (sel *Selector) removeBeforeBubbles(s *strategy.Strategy, removed map[int]bool, rep *Report) error {
+	if sel.SkipBubbleAnalysis {
+		return sel.eng.Prepare(s)
+	}
+	sel.eng.RecordOps = true
+	defer func() { sel.eng.RecordOps = false }()
+	if err := sel.eng.Prepare(s); err != nil {
+		return err
+	}
+	r, err := sel.eng.Run()
+	if err != nil {
+		return err
+	}
+	rep.Evals++
+	for t := range r.TensorsBeforeBubbles() {
+		if !s.PerTensor[t].Compressed() && !removed[t] {
+			removed[t] = true
+			rep.Ruled++
+		}
+	}
+	return nil
+}
+
+// maxSweeps bounds Algorithm 1's refinement. The paper describes a single
+// greedy sweep; a per-tensor decision made early in the sweep can look
+// different once the rest of the strategy has taken shape, so we re-sweep
+// until the strategy is a fixed point (two to three passes in practice).
+// Each extra pass only ever improves F(S).
+const maxSweeps = 4
+
+// Algorithm1 is the paper's Algorithm 1: greedy per-tensor GPU
+// compression decisions driven by the overheads visible in the derived
+// timeline, in size-then-position order (Property #2), with bubble-based
+// elimination (Property #1), judged by the full-timeline iteration time
+// rather than wall-clock operation times (Property #3).
+//
+// Because the greedy sweep is monotone (every accepted change strictly
+// reduces F(S)), it is seeded with the best of a set of cheap starting
+// strategies — FP32, every uniform single-option strategy, and the
+// myopic wall-clock-selective strategy — which makes the result at least
+// as good as every one of them, including the baselines' policies, which
+// all live inside Espresso's search space.
+func (sel *Selector) Algorithm1(rep *Report) (*strategy.Strategy, error) {
+	if rep == nil {
+		rep = &Report{}
+	}
+	seed, err := sel.bestSeed(rep)
+	if err != nil {
+		return nil, err
+	}
+	return sel.sweepFrom(seed, rep)
+}
+
+// bestSeed evaluates the candidate starting strategies and returns the
+// fastest. The seed family spans every baseline policy: FP32, every
+// uniform single-option strategy on both devices, and for every option a
+// τ-selective strategy (compress exactly the tensors whose wall-clock
+// saving exceeds the wall-clock cost) — HiPress, HiTopKComm, and
+// BytePS-Compress are all members, so the monotone sweep's result
+// dominates them by construction.
+func (sel *Selector) bestSeed(rep *Report) (*strategy.Strategy, error) {
+	n := len(sel.M.Tensors)
+	plain := strategy.NoCompression(sel.C)
+	plainComm := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		d, err := sel.eng.CommTime(i, plain)
+		if err != nil {
+			return nil, err
+		}
+		plainComm[i] = d
+	}
+
+	seeds := []*strategy.Strategy{strategy.Uniform(n, plain)}
+	myopic := strategy.Uniform(n, plain)
+	myopicCost := append([]time.Duration(nil), plainComm...)
+	for _, shape := range sel.candidates {
+		if !shape.Compressed() {
+			continue
+		}
+		for _, dev := range sel.devices {
+			o := shape.WithDevice(dev)
+			uniform := strategy.Uniform(n, o)
+			selective := strategy.Uniform(n, plain)
+			for i := 0; i < n; i++ {
+				comm, err := sel.eng.CommTime(i, o)
+				if err != nil {
+					return nil, err
+				}
+				comp, err := sel.eng.CompTime(i, o)
+				if err != nil {
+					return nil, err
+				}
+				if comm+comp < plainComm[i] {
+					selective.PerTensor[i] = o
+				}
+				if comm+comp < myopicCost[i] {
+					myopicCost[i] = comm + comp
+					myopic.PerTensor[i] = o
+				}
+			}
+			seeds = append(seeds, uniform, selective)
+		}
+	}
+	seeds = append(seeds, myopic)
+
+	var best *strategy.Strategy
+	bestIter := time.Duration(-1)
+	for _, s := range seeds {
+		iter, err := sel.iter(s, rep)
+		if err != nil {
+			return nil, err
+		}
+		if bestIter < 0 || iter < bestIter {
+			bestIter = iter
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// SelectAllCompressed is the "All compression" cripple of §5.3: Dimension
+// 1 is fixed to "compress" for every tensor, and the rest of the pipeline
+// (option choice, device choice, offloading) runs as usual.
+func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) {
+	rep := &Report{}
+	var compressed []strategy.Option
+	for _, o := range sel.candidates {
+		if o.Compressed() {
+			compressed = append(compressed, o)
+		}
+	}
+	saved := sel.candidates
+	sel.SetCandidates(compressed)
+	defer sel.SetCandidates(saved)
+
+	n := len(sel.M.Tensors)
+	var seed *strategy.Strategy
+	bestIter := time.Duration(-1)
+	for _, o := range compressed {
+		for _, dev := range sel.devices {
+			s := strategy.Uniform(n, o.WithDevice(dev))
+			iter, err := sel.iter(s, rep)
+			if err != nil {
+				return nil, nil, err
+			}
+			if bestIter < 0 || iter < bestIter {
+				bestIter = iter
+				seed = s
+			}
+		}
+	}
+	s, err := sel.sweepFrom(seed, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sel.allowsCPU() {
+		if s, err = sel.OffloadCPU(s, rep); err != nil {
+			return nil, nil, err
+		}
+	}
+	rep.Compressed = s.CompressedCount()
+	iter, err := sel.iter(s, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Iter = iter
+	return s, rep, nil
+}
+
+// MyopicStrategy decides each tensor on wall-clock operation times alone
+// — compress with the option minimizing tau_comm + tau_comp when that
+// beats the uncompressed tau_comm — ignoring all tensor interactions.
+// This is the "Myopic compression" crippled mechanism of §5.3.
+func (sel *Selector) MyopicStrategy() (*strategy.Strategy, error) {
+	n := len(sel.M.Tensors)
+	plain := strategy.NoCompression(sel.C)
+	s := strategy.Uniform(n, plain)
+	for i := 0; i < n; i++ {
+		base, err := sel.eng.CommTime(i, plain)
+		if err != nil {
+			return nil, err
+		}
+		bestCost := base
+		for _, cand := range sel.candidates {
+			if !cand.Compressed() {
+				continue
+			}
+			comm, err := sel.eng.CommTime(i, cand)
+			if err != nil {
+				return nil, err
+			}
+			comp, err := sel.eng.CompTime(i, cand)
+			if err != nil {
+				return nil, err
+			}
+			if comm+comp < bestCost {
+				bestCost = comm + comp
+				s.PerTensor[i] = cand
+			}
+		}
+	}
+	return s, nil
+}
+
+// sweepFrom runs Algorithm 1's greedy sweeps starting from seed.
+func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Strategy, error) {
+	removed := make(map[int]bool)
+	if err := sel.removeBeforeBubbles(s, removed, rep); err != nil {
+		return nil, err
+	}
+	if err := sel.eng.Prepare(s); err != nil {
+		return nil, err
+	}
+	base, err := sel.eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.Evals++
+	best := base.Iter
+
+	order := sel.order()
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for _, idx := range order {
+			if removed[idx] {
+				continue
+			}
+			bestOpt := s.PerTensor[idx]
+			improved := false
+			cands, err := sel.candidatesFor(idx)
+			if err != nil {
+				return nil, err
+			}
+			for _, cand := range cands {
+				if cand.Equal(bestOpt) {
+					continue
+				}
+				if err := sel.eng.SetOption(idx, cand); err != nil {
+					return nil, err
+				}
+				r, err := sel.eng.Run()
+				if err != nil {
+					return nil, err
+				}
+				rep.Evals++
+				if r.Iter < best {
+					best = r.Iter
+					bestOpt = cand
+					improved = true
+				}
+			}
+			s.PerTensor[idx] = bestOpt
+			if err := sel.eng.SetOption(idx, bestOpt); err != nil {
+				return nil, err
+			}
+			// New bubbles can appear once this tensor's communication
+			// shrinks; rule out tensors newly before bubbles (line 8).
+			// removeBeforeBubbles leaves the engine prepared with s.
+			if improved {
+				changed = true
+				if err := sel.removeBeforeBubbles(s, removed, rep); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return s, nil
+}
+
+// UpperBound computes the §5.1 Upper Bound: the throughput of
+// compression-enabled DDL if compression were free and contention-less.
+// It runs the same greedy selection on a zero-compression-cost engine.
+func UpperBound(m *model.Model, c *cluster.Cluster, cm *cost.Models) (time.Duration, error) {
+	sel := NewSelector(m, c, cm)
+	sel.eng.ZeroCompression = true
+	rep := &Report{}
+	s, err := sel.Algorithm1(rep)
+	if err != nil {
+		return 0, err
+	}
+	return sel.iter(s, rep)
+}
+
+// Throughput converts an iteration time to the paper's metric: trained
+// samples (images or tokens) per second across the whole cluster.
+func Throughput(m *model.Model, c *cluster.Cluster, iter time.Duration) float64 {
+	if iter <= 0 {
+		return 0
+	}
+	return float64(m.Batch) * float64(c.TotalGPUs()) / iter.Seconds()
+}
+
+// ScalingFactor is T_n/(n*T): cluster throughput relative to perfect
+// linear scaling of a single GPU (Table 1).
+func ScalingFactor(m *model.Model, c *cluster.Cluster, iter time.Duration) float64 {
+	single := float64(m.Batch) / m.IterTime().Seconds()
+	return Throughput(m, c, iter) / (single * float64(c.TotalGPUs()))
+}
+
+// BruteForce exhaustively searches options^tensors and returns the
+// optimal strategy and its iteration time. Only feasible for tiny models;
+// it exists to validate the greedy selection's near-optimality.
+func BruteForce(m *model.Model, c *cluster.Cluster, cm *cost.Models, options []strategy.Option) (*strategy.Strategy, time.Duration, error) {
+	n := len(m.Tensors)
+	size := 1
+	for i := 0; i < n; i++ {
+		size *= len(options)
+		if size > 1_000_000 {
+			return nil, 0, fmt.Errorf("core: brute force space too large (%d^%d)", len(options), n)
+		}
+	}
+	eng := timeline.New(m, c, cm)
+	eng.RecordOps = false
+
+	assign := make([]int, n)
+	s := strategy.Uniform(n, options[0])
+	if err := eng.Prepare(s); err != nil {
+		return nil, 0, err
+	}
+	bestIter := time.Duration(-1)
+	var best *strategy.Strategy
+	for {
+		r, err := eng.Run()
+		if err != nil {
+			return nil, 0, err
+		}
+		if bestIter < 0 || r.Iter < bestIter {
+			bestIter = r.Iter
+			best = s.Clone()
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < n; i++ {
+			assign[i]++
+			if assign[i] < len(options) {
+				break
+			}
+			assign[i] = 0
+		}
+		if i == n {
+			break
+		}
+		for j := 0; j <= i; j++ {
+			s.PerTensor[j] = options[assign[j]]
+			if err := eng.SetOption(j, options[assign[j]]); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return best, bestIter, nil
+}
+
+// BruteForceSpaceLog10 reports log10 of how many strategies a brute-force
+// search over the full option set would evaluate (|C|^N, §4.4.1) — the
+// raw count overflows even float64 for real models.
+func BruteForceSpaceLog10(m *model.Model, c *cluster.Cluster) float64 {
+	full := float64(len(strategy.Enumerate(c)))
+	return float64(len(m.Tensors)) * math.Log10(full)
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"espresso/internal/baselines"
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/cost"
+)
+
+// The extension algorithms (QSGD, TernGrad) plug into the full selection
+// pipeline exactly like the paper's three: the abstraction is
+// algorithm-agnostic (§4.2.2's extensibility claim).
+func TestExtensionAlgorithmsSelect(t *testing.T) {
+	c := cluster.NVLinkTestbed(4)
+	m := commBound()
+	for _, spec := range []compress.Spec{
+		{ID: compress.QSGD, Levels: 16},
+		{ID: compress.TernGrad},
+		{ID: compress.TopK, Ratio: 0.01},
+	} {
+		cm := cost.MustModels(c, spec)
+		sel := NewSelector(m, c, cm)
+		s, rep, err := sel.Select()
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if s.CompressedCount() == 0 {
+			t.Errorf("%v: nothing compressed on a comm-bound job", spec)
+		}
+		fp32, err := baselines.Strategy(baselines.FP32, m, c, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base := evalIter(t, m, c, cm, fp32); rep.Iter >= base {
+			t.Errorf("%v: selection %v not better than FP32 %v", spec, rep.Iter, base)
+		}
+	}
+}

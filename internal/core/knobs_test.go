@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+)
+
+// Regression for the offload-normalization bug: the reported iteration
+// time must equal a fresh evaluation of the returned strategy, for every
+// model/testbed pairing.
+func TestReportMatchesFreshEvaluation(t *testing.T) {
+	cases := []struct {
+		m  *model.Model
+		c  *cluster.Cluster
+		sp compress.Spec
+	}{
+		{model.LSTM(), cluster.PCIeTestbed(2), compress.Spec{ID: compress.EFSignSGD}},
+		{model.VGG16(), cluster.NVLinkTestbed(2), compress.Spec{ID: compress.RandomK, Ratio: 0.01}},
+		{commBound(), cluster.NVLinkTestbed(4), dgc()},
+	}
+	for _, tc := range cases {
+		cm := cost.MustModels(tc.c, tc.sp)
+		sel := NewSelector(tc.m, tc.c, cm)
+		s, rep, err := sel.Select()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := timeline.New(tc.m, tc.c, cm)
+		eng.RecordOps = false
+		fresh, err := eng.IterTime(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh != rep.Iter {
+			t.Errorf("%s: report %v != fresh evaluation %v", tc.m.Name, rep.Iter, fresh)
+		}
+	}
+}
+
+// Offloading must never worsen the Algorithm 1 result, regardless of
+// which devices its seed strategies used.
+func TestOffloadNeverRegresses(t *testing.T) {
+	for _, machines := range []int{2, 4, 8} {
+		c := cluster.NVLinkTestbed(machines)
+		m := model.GPT2()
+		cm := cost.MustModels(c, compress.Spec{ID: compress.EFSignSGD})
+		sel := NewSelector(m, c, cm)
+		rep := &Report{}
+		s1, err := sel.Algorithm1(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := sel.iter(s1, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := sel.OffloadCPU(s1, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := sel.iter(s2, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before {
+			t.Errorf("machines=%d: offload worsened %v -> %v", machines, before, after)
+		}
+	}
+}
+
+// The §5.3 knobs: crippled selection must never beat full selection, and
+// the cripples must actually restrict the result.
+func TestCrippleKnobs(t *testing.T) {
+	c := cluster.PCIeTestbed(4)
+	m := model.VGG16()
+	cm := cost.MustModels(c, compress.Spec{ID: compress.DGC, Ratio: 0.01})
+
+	full := NewSelector(m, c, cm)
+	_, fullRep, err := full.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("gpu-only", func(t *testing.T) {
+		sel := NewSelector(m, c, cm)
+		sel.SetDevices([]cost.Device{cost.GPU})
+		s, rep, err := sel.Select()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range s.PerTensor {
+			if o.Compressed() && !o.AllOn(cost.GPU) {
+				t.Fatal("GPU-only selection used CPUs")
+			}
+		}
+		if rep.Offloaded != 0 {
+			t.Fatal("GPU-only selection reports offloaded tensors")
+		}
+		if rep.Iter < fullRep.Iter {
+			t.Errorf("cripple beat full selection: %v < %v", rep.Iter, fullRep.Iter)
+		}
+	})
+
+	t.Run("cpu-only", func(t *testing.T) {
+		sel := NewSelector(m, c, cm)
+		sel.SetDevices([]cost.Device{cost.CPU})
+		s, rep, err := sel.Select()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range s.PerTensor {
+			if o.Compressed() && !o.AllOn(cost.CPU) {
+				t.Fatal("CPU-only selection used GPUs")
+			}
+		}
+		if rep.Iter < fullRep.Iter {
+			t.Errorf("cripple beat full selection: %v < %v", rep.Iter, fullRep.Iter)
+		}
+	})
+
+	t.Run("all-compressed", func(t *testing.T) {
+		sel := NewSelector(m, c, cm)
+		s, rep, err := sel.SelectAllCompressed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.CompressedCount() != len(m.Tensors) {
+			t.Fatalf("all-compressed left %d tensors uncompressed",
+				len(m.Tensors)-s.CompressedCount())
+		}
+		if rep.Iter < fullRep.Iter {
+			t.Errorf("cripple beat full selection: %v < %v", rep.Iter, fullRep.Iter)
+		}
+	})
+
+	t.Run("restricted-candidates", func(t *testing.T) {
+		sel := NewSelector(m, c, cm)
+		sel.SetCandidates([]strategy.Option{strategy.NoCompression(c)})
+		_, rep, err := sel.Select()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Compressed != 0 {
+			t.Fatal("compression appeared with a compression-free candidate set")
+		}
+	})
+}
+
+// The ablation knobs change the search but still produce valid output.
+func TestAblationKnobs(t *testing.T) {
+	c := cluster.NVLinkTestbed(4)
+	m := commBound()
+	cm := cost.MustModels(c, dgc())
+
+	base := NewSelector(m, c, cm)
+	_, baseRep, err := base.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		tweak func(*Selector)
+	}{
+		{"skip-bubbles", func(s *Selector) { s.SkipBubbleAnalysis = true }},
+		{"naive-order", func(s *Selector) { s.NaiveOrder = true }},
+	} {
+		sel := NewSelector(m, c, cm)
+		tc.tweak(sel)
+		s, rep, err := sel.Select()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(s.PerTensor) != len(m.Tensors) {
+			t.Fatalf("%s: wrong strategy shape", tc.name)
+		}
+		if rep.Iter <= 0 {
+			t.Fatalf("%s: no iteration time", tc.name)
+		}
+		// The ablations degrade either quality or selection time but
+		// stay within 2x of the full algorithm on this small job.
+		if rep.Iter > 2*baseRep.Iter {
+			t.Errorf("%s: iter %v far above full %v", tc.name, rep.Iter, baseRep.Iter)
+		}
+	}
+}
+
+// Constraining the candidate set through strategy.Filter composes with
+// the selector (the §4.2.2 extensibility path).
+func TestSelectorWithConstraints(t *testing.T) {
+	c := cluster.NVLinkTestbed(4)
+	m := commBound()
+	cm := cost.MustModels(c, dgc())
+	sel := NewSelector(m, c, cm)
+	sel.SetCandidates(strategy.Filter(strategy.EnumerateGPU(c), strategy.MaxCompOps(2)))
+	s, rep, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range s.PerTensor {
+		if o.CompOps() > 2 {
+			t.Fatalf("constraint violated: %v", o)
+		}
+	}
+	if rep.Iter <= 0 {
+		t.Fatal("no result")
+	}
+	_ = time.Duration(0)
+}

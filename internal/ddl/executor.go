@@ -1,0 +1,235 @@
+// Package ddl executes compression strategies on real gradient data: it
+// is the run-time half of Espresso (Figure 6's "apply the compression
+// strategy to the DDL framework"). For every tensor it walks the
+// compression option's action tasks, moving genuine bytes between the
+// simulated cluster's GPUs through the collective and compression
+// libraries, with error feedback preserving convergence.
+//
+// The executor maintains one state per GPU: the dense region it holds, or
+// the compressed payloads in flight. Executing any valid option ends with
+// every GPU holding the full aggregated gradient.
+package ddl
+
+import (
+	"fmt"
+
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/strategy"
+)
+
+// Executor synchronizes tensors under compression options.
+type Executor struct {
+	C    *cluster.Cluster
+	Spec compress.Spec
+
+	// DisableErrorFeedback turns off the error-feedback mechanism on
+	// the first compression of each tensor. Only the convergence
+	// ablation uses it; production GC needs EF to preserve accuracy.
+	DisableErrorFeedback bool
+
+	comp compress.Compressor
+	// ef holds per-GPU error-feedback state, keyed inside by tensor
+	// name and region.
+	ef []*compress.ErrorFeedback
+
+	traffic Traffic
+}
+
+// Traffic accounts the wire bytes every GPU sent during synchronization,
+// by communication domain — measured from the actual payloads (encoded
+// compressed bytes or dense FP32 bytes), so it validates the gradient-
+// exchange savings claim on real data rather than on the cost models.
+type Traffic struct {
+	IntraBytes int64
+	InterBytes int64
+}
+
+// Total is the combined traffic.
+func (t Traffic) Total() int64 { return t.IntraBytes + t.InterBytes }
+
+// Traffic returns the accumulated traffic counters.
+func (x *Executor) Traffic() Traffic { return x.traffic }
+
+// ResetTraffic clears the counters.
+func (x *Executor) ResetTraffic() { x.traffic = Traffic{} }
+
+// NewExecutor builds an executor for the cluster and GC algorithm.
+func NewExecutor(c *cluster.Cluster, spec compress.Spec) (*Executor, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	comp, err := compress.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	ef := make([]*compress.ErrorFeedback, c.TotalGPUs())
+	for i := range ef {
+		ef[i] = compress.NewErrorFeedback(comp)
+	}
+	return &Executor{C: c, Spec: spec, comp: comp, ef: ef}, nil
+}
+
+// nodeState is one GPU's view of a tensor mid-synchronization.
+type nodeState struct {
+	active     bool
+	lo, hi     int // dense element region currently held
+	dense      []float32
+	payloads   []*compress.Payload
+	compressed bool
+}
+
+// SyncTensor synchronizes one tensor: grads holds each GPU's local
+// gradient (len TotalGPUs, equal lengths); the result holds each GPU's
+// aggregated gradient after executing opt. seed varies randomized
+// compression across iterations; name keys error-feedback state.
+func (x *Executor) SyncTensor(name string, grads [][]float32, opt strategy.Option, seed uint64) ([][]float32, error) {
+	if err := strategy.Check(opt, x.C); err != nil {
+		return nil, err
+	}
+	total := x.C.TotalGPUs()
+	if len(grads) != total {
+		return nil, fmt.Errorf("ddl: %d gradients for %d GPUs", len(grads), total)
+	}
+	n := len(grads[0])
+	states := make([]nodeState, total)
+	for g := range states {
+		if len(grads[g]) != n {
+			return nil, fmt.Errorf("ddl: GPU %d gradient has %d elements, GPU 0 has %d", g, len(grads[g]), n)
+		}
+		states[g] = nodeState{
+			active: true, lo: 0, hi: n,
+			dense: append([]float32(nil), grads[g]...),
+		}
+	}
+
+	firstComp := true
+	for si, st := range opt.Steps {
+		var err error
+		switch st.Act {
+		case strategy.Comp:
+			err = x.compressStep(name, states, seed, firstComp)
+			firstComp = false
+		case strategy.Decomp:
+			err = x.decompressStep(states)
+		case strategy.Comm:
+			for _, group := range x.groups(st.Scope, states) {
+				if err = x.commStep(st, states, group); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ddl: %s step %d (%v): %w", name, si, st, err)
+		}
+	}
+
+	out := make([][]float32, total)
+	for g := range states {
+		s := &states[g]
+		if !s.active || s.compressed || s.lo != 0 || s.hi != n {
+			return nil, fmt.Errorf("ddl: %s: GPU %d ended active=%v compressed=%v region [%d,%d), want dense [0,%d)",
+				name, g, s.active, s.compressed, s.lo, s.hi, n)
+		}
+		out[g] = s.dense
+	}
+	return out, nil
+}
+
+// groups partitions GPUs into the communication groups of a scope:
+// machines for intra, per-lane machine sets for inter (only lanes holding
+// data), and one global group for flat.
+func (x *Executor) groups(sc strategy.Scope, states []nodeState) [][]int {
+	N, k := x.C.Machines, x.C.GPUsPerMachine
+	switch sc {
+	case strategy.Intra:
+		groups := make([][]int, N)
+		for m := 0; m < N; m++ {
+			g := make([]int, k)
+			for j := 0; j < k; j++ {
+				g[j] = m*k + j
+			}
+			groups[m] = g
+		}
+		return groups
+	case strategy.Inter:
+		var groups [][]int
+		for j := 0; j < k; j++ {
+			// All machines are symmetric: lane j participates when
+			// any machine's lane j holds data.
+			holds := false
+			for m := 0; m < N; m++ {
+				if states[m*k+j].active {
+					holds = true
+					break
+				}
+			}
+			if !holds {
+				continue
+			}
+			g := make([]int, N)
+			for m := 0; m < N; m++ {
+				g[m] = m*k + j
+			}
+			groups = append(groups, g)
+		}
+		return groups
+	default: // Flat
+		g := make([]int, len(states))
+		for i := range g {
+			g[i] = i
+		}
+		return [][]int{g}
+	}
+}
+
+func (x *Executor) compressStep(name string, states []nodeState, seed uint64, useEF bool) error {
+	for g := range states {
+		s := &states[g]
+		if !s.active {
+			continue
+		}
+		var p *compress.Payload
+		var err error
+		if useEF && !x.DisableErrorFeedback {
+			key := fmt.Sprintf("%s@%d:%d", name, s.lo, s.hi)
+			p, err = x.ef[g].Compress(key, s.dense, seed+uint64(g))
+			if err != nil {
+				return err
+			}
+		} else {
+			p = x.comp.Compress(s.dense, seed+uint64(g))
+		}
+		p.Base = s.lo
+		s.payloads = []*compress.Payload{p}
+		s.dense = nil
+		s.compressed = true
+	}
+	return nil
+}
+
+func (x *Executor) decompressStep(states []nodeState) error {
+	for g := range states {
+		s := &states[g]
+		if !s.active {
+			continue
+		}
+		if !s.compressed {
+			return fmt.Errorf("GPU %d decompressing a dense region", g)
+		}
+		acc := make([]float32, s.hi-s.lo)
+		for _, p := range s.payloads {
+			// AddDecompressed works on a full-tensor accumulator;
+			// shift the payload into region-relative coordinates.
+			rel := *p
+			rel.Base = p.Base - s.lo
+			if err := compress.AddDecompressed(x.comp, &rel, acc); err != nil {
+				return err
+			}
+		}
+		s.dense = acc
+		s.payloads = nil
+		s.compressed = false
+	}
+	return nil
+}

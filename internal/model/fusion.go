@@ -1,0 +1,81 @@
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bucketize rewrites a model the way DDL frameworks preprocess tensor
+// queues before communication (BytePS partitions very large tensors;
+// MergeComp-style schedulers fuse small adjacent ones): consecutive
+// tensors in backward order are fused until a bucket reaches minBytes,
+// and tensors larger than maxBytes are split into near-equal parts.
+//
+// Fusion amortizes per-operation latency for models with hundreds of tiny
+// normalization tensors; splitting restores pipelining for models with a
+// few giant layers. The result is a valid model with the same total
+// parameter count and backward time.
+func Bucketize(m *Model, minBytes, maxBytes int64) (*Model, error) {
+	if minBytes < 0 || maxBytes <= 0 || (minBytes > maxBytes) {
+		return nil, fmt.Errorf("model: invalid bucket bounds [%d, %d]", minBytes, maxBytes)
+	}
+	out := &Model{
+		Name:      m.Name + "+buckets",
+		Forward:   m.Forward,
+		Batch:     m.Batch,
+		BatchUnit: m.BatchUnit,
+	}
+
+	flushBucket := func(names int, elems int, compute time.Duration, first string) {
+		if elems == 0 {
+			return
+		}
+		name := first
+		if names > 1 {
+			name = fmt.Sprintf("%s+%d", first, names-1)
+		}
+		out.Tensors = append(out.Tensors, Tensor{Name: name, Elems: elems, Compute: compute})
+	}
+
+	var bucketElems, bucketCount int
+	var bucketCompute time.Duration
+	var bucketFirst string
+	for _, t := range m.Tensors {
+		if t.Bytes() >= maxBytes {
+			// Flush any pending fusion, then split the giant.
+			flushBucket(bucketCount, bucketElems, bucketCompute, bucketFirst)
+			bucketElems, bucketCount, bucketCompute = 0, 0, 0
+			parts := int((t.Bytes() + maxBytes - 1) / maxBytes)
+			for p := 0; p < parts; p++ {
+				lo := p * t.Elems / parts
+				hi := (p + 1) * t.Elems / parts
+				out.Tensors = append(out.Tensors, Tensor{
+					Name:    fmt.Sprintf("%s.part%d", t.Name, p),
+					Elems:   hi - lo,
+					Compute: t.Compute / time.Duration(parts),
+				})
+			}
+			continue
+		}
+		if bucketCount == 0 {
+			bucketFirst = t.Name
+		}
+		bucketElems += t.Elems
+		bucketCompute += t.Compute
+		bucketCount++
+		if 4*int64(bucketElems) >= minBytes {
+			flushBucket(bucketCount, bucketElems, bucketCompute, bucketFirst)
+			bucketElems, bucketCount, bucketCompute = 0, 0, 0
+		}
+	}
+	flushBucket(bucketCount, bucketElems, bucketCompute, bucketFirst)
+
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	if out.TotalElems() != m.TotalElems() {
+		return nil, fmt.Errorf("model: bucketization changed parameter count: %d -> %d",
+			m.TotalElems(), out.TotalElems())
+	}
+	return out, nil
+}

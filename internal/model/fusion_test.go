@@ -1,0 +1,89 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBucketizePreservesMass(t *testing.T) {
+	for _, m := range All() {
+		b, err := Bucketize(m, 1<<20, 64<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if b.TotalElems() != m.TotalElems() {
+			t.Errorf("%s: elems %d -> %d", m.Name, m.TotalElems(), b.TotalElems())
+		}
+		diff := b.Backward() - m.Backward()
+		if diff < 0 {
+			diff = -diff
+		}
+		// Splitting divides durations with integer rounding.
+		if diff > time.Millisecond {
+			t.Errorf("%s: backward %v -> %v", m.Name, m.Backward(), b.Backward())
+		}
+	}
+}
+
+func TestBucketizeFusesSmallTensors(t *testing.T) {
+	m := ResNet101() // 314 tensors, most of them tiny batch-norm params
+	b, err := Bucketize(m, 4<<20, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumTensors() >= m.NumTensors()/3 {
+		t.Fatalf("fusion left %d of %d tensors", b.NumTensors(), m.NumTensors())
+	}
+	// No bucket under the floor except possibly the trailing one per
+	// giant-split boundary.
+	small := 0
+	for _, tensor := range b.Tensors {
+		if tensor.Bytes() < 4<<20 && !strings.Contains(tensor.Name, ".part") {
+			small++
+		}
+	}
+	if small > m.NumTensors()/10 {
+		t.Fatalf("%d undersized buckets", small)
+	}
+}
+
+func TestBucketizeSplitsGiants(t *testing.T) {
+	m := UGATIT()                     // two >1 GB tensors
+	b, err := Bucketize(m, 0, 64<<20) // split-only: no fusion floor
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tensor := range b.Tensors {
+		if tensor.Bytes() > 65<<20 {
+			t.Fatalf("tensor %s still %d bytes", tensor.Name, tensor.Bytes())
+		}
+	}
+	if b.NumTensors() <= m.NumTensors() {
+		t.Fatalf("splitting should increase UGATIT's tensor count: %d -> %d",
+			m.NumTensors(), b.NumTensors())
+	}
+}
+
+func TestBucketizeValidatesBounds(t *testing.T) {
+	m := LSTM()
+	for _, bounds := range [][2]int64{{-1, 10}, {10, 0}, {100, 10}} {
+		if _, err := Bucketize(m, bounds[0], bounds[1]); err == nil {
+			t.Errorf("bounds %v accepted", bounds)
+		}
+	}
+}
+
+func TestBucketizeKeepsBackwardOrderSemantics(t *testing.T) {
+	m := Synthetic("s", []int{100, 200, 300}, []time.Duration{1000, 2000, 3000}, 0)
+	b, err := Bucketize(m, 4*600+4, 1<<30) // fuse everything into one bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumTensors() != 1 {
+		t.Fatalf("%d tensors, want 1", b.NumTensors())
+	}
+	if b.Tensors[0].Elems != 600 || b.Tensors[0].Compute != 6000 {
+		t.Fatalf("fused tensor = %+v", b.Tensors[0])
+	}
+}

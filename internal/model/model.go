@@ -1,0 +1,195 @@
+// Package model describes DNN training workloads the way Espresso's model
+// configuration file does (Figure 6): a list of gradient tensors with
+// sizes and per-tensor backward computation times, plus the forward-pass
+// time of one iteration. It ships layer-accurate descriptions of the six
+// models the paper evaluates (Table 4).
+//
+// Tensors are ordered by backward computation: index 0 is produced first
+// during backward propagation. The paper's "distance to the output layer"
+// (Property #2, Lemma 1) counts from the *end* of backward propagation —
+// "the output layer, i.e., the last layer during backward propagation"
+// (§4.4.2) — so the tensor computed last has distance zero.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Tensor is one gradient tensor of a DNN model.
+type Tensor struct {
+	// Name identifies the tensor (layer parameter name).
+	Name string
+	// Elems is the number of float32 elements.
+	Elems int
+	// Compute is the backward computation time that produces this
+	// tensor's gradient, obtained from execution traces (§4.3).
+	Compute time.Duration
+}
+
+// Bytes is the dense FP32 size of the tensor.
+func (t Tensor) Bytes() int64 { return 4 * int64(t.Elems) }
+
+// Model is a DNN training workload.
+type Model struct {
+	// Name is the model identifier (e.g. "bert-base").
+	Name string
+	// Tensors lists gradient tensors in backward computation order.
+	Tensors []Tensor
+	// Forward is the forward-pass time of one iteration on one GPU.
+	Forward time.Duration
+	// Batch is the per-GPU batch size, in units of BatchUnit
+	// ("images" or "tokens"); throughput metrics are Batch per
+	// iteration per GPU.
+	Batch int
+	// BatchUnit names the throughput unit.
+	BatchUnit string
+}
+
+// NumTensors reports the tensor count (the "# of Tensors" row of Table 5).
+func (m *Model) NumTensors() int { return len(m.Tensors) }
+
+// TotalElems is the parameter count.
+func (m *Model) TotalElems() int {
+	n := 0
+	for _, t := range m.Tensors {
+		n += t.Elems
+	}
+	return n
+}
+
+// TotalBytes is the FP32 model (gradient) size — the "Model size" column
+// of Table 4.
+func (m *Model) TotalBytes() int64 { return 4 * int64(m.TotalElems()) }
+
+// Backward is the total backward computation time of one iteration.
+func (m *Model) Backward() time.Duration {
+	var d time.Duration
+	for _, t := range m.Tensors {
+		d += t.Compute
+	}
+	return d
+}
+
+// IterTime is the compute-only iteration time on a single GPU.
+func (m *Model) IterTime() time.Duration { return m.Forward + m.Backward() }
+
+// DistanceToOutput is the paper's tensor ordering key: zero for the
+// tensor computed last during backward propagation.
+func (m *Model) DistanceToOutput(i int) int { return len(m.Tensors) - 1 - i }
+
+// Clone returns a deep copy.
+func (m *Model) Clone() *Model {
+	c := *m
+	c.Tensors = append([]Tensor(nil), m.Tensors...)
+	return &c
+}
+
+// Validate checks structural invariants.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return errors.New("model: empty name")
+	}
+	if len(m.Tensors) == 0 {
+		return fmt.Errorf("model %s: no tensors", m.Name)
+	}
+	if m.Forward < 0 {
+		return fmt.Errorf("model %s: negative forward time", m.Name)
+	}
+	seen := make(map[string]bool, len(m.Tensors))
+	for i, t := range m.Tensors {
+		if t.Name == "" {
+			return fmt.Errorf("model %s: tensor %d unnamed", m.Name, i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("model %s: duplicate tensor name %q", m.Name, t.Name)
+		}
+		seen[t.Name] = true
+		if t.Elems <= 0 {
+			return fmt.Errorf("model %s: tensor %s has %d elements", m.Name, t.Name, t.Elems)
+		}
+		if t.Compute < 0 {
+			return fmt.Errorf("model %s: tensor %s has negative compute time", m.Name, t.Name)
+		}
+	}
+	return nil
+}
+
+// Synthetic builds a model for tests and didactic timelines: sizes are
+// element counts in backward order, each tensor's compute time is given in
+// computes (same length).
+func Synthetic(name string, sizes []int, computes []time.Duration, forward time.Duration) *Model {
+	if len(sizes) != len(computes) {
+		panic("model: sizes and computes length mismatch")
+	}
+	m := &Model{Name: name, Forward: forward, Batch: 1, BatchUnit: "samples"}
+	for i, n := range sizes {
+		m.Tensors = append(m.Tensors, Tensor{
+			Name:    fmt.Sprintf("T%d", i),
+			Elems:   n,
+			Compute: computes[i],
+		})
+	}
+	return m
+}
+
+// spreadBackward distributes a total backward time across the tensors:
+// each tensor gets a fixed per-kernel floor plus a share proportional to
+// its size. This mirrors what trace collection observes — small
+// normalization tensors still cost a kernel launch, large layers dominate.
+func spreadBackward(tensors []Tensor, total time.Duration, floor time.Duration) {
+	n := len(tensors)
+	fixed := floor * time.Duration(n)
+	variable := total - fixed
+	if variable < 0 {
+		variable = 0
+		floor = total / time.Duration(n)
+		fixed = floor * time.Duration(n)
+	}
+	var bytes int64
+	for _, t := range tensors {
+		bytes += t.Bytes()
+	}
+	for i := range tensors {
+		share := time.Duration(float64(variable) * float64(tensors[i].Bytes()) / float64(bytes))
+		tensors[i].Compute = floor + share
+	}
+}
+
+// splitLargest splits the single largest tensor into parts near-equal
+// pieces. DDL frameworks (BytePS included) partition very large tensors
+// for pipelining; the paper's tensor counts reflect that.
+func splitLargest(tensors []Tensor, parts int) []Tensor {
+	if parts <= 1 {
+		return tensors
+	}
+	big := 0
+	for i, t := range tensors {
+		if t.Elems > tensors[big].Elems {
+			big = i
+		}
+	}
+	t := tensors[big]
+	out := make([]Tensor, 0, len(tensors)+parts-1)
+	out = append(out, tensors[:big]...)
+	for p := 0; p < parts; p++ {
+		lo := p * t.Elems / parts
+		hi := (p + 1) * t.Elems / parts
+		out = append(out, Tensor{
+			Name:    fmt.Sprintf("%s.part%d", t.Name, p),
+			Elems:   hi - lo,
+			Compute: t.Compute / time.Duration(parts),
+		})
+	}
+	return append(out, tensors[big+1:]...)
+}
+
+// reverse flips a forward-order layer list into backward computation
+// order (loss-side parameters first).
+func reverse(tensors []Tensor) []Tensor {
+	for i, j := 0, len(tensors)-1; i < j; i, j = i+1, j-1 {
+		tensors[i], tensors[j] = tensors[j], tensors[i]
+	}
+	return tensors
+}

@@ -1,0 +1,209 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Table 4 / Table 5 golden values: tensor counts are exact, model sizes
+// within tolerance of the published megabytes (parameter accounting
+// differs slightly across frameworks).
+func TestZooMatchesTable4(t *testing.T) {
+	cases := []struct {
+		name    string
+		tensors int
+		sizeMB  float64
+		tolPct  float64
+		unit    string
+		batch   int
+	}{
+		{"vgg16", 32, 528, 6, "images", 32},
+		{"resnet101", 314, 170, 6, "images", 32},
+		{"ugatit", 148, 2559, 12, "images", 2},
+		{"bert-base", 207, 420, 6, "tokens", 1024},
+		{"gpt2", 148, 475, 6, "tokens", 80},
+		{"lstm", 10, 328, 6, "tokens", 80},
+	}
+	for _, tc := range cases {
+		m, err := ByName(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := m.NumTensors(); got != tc.tensors {
+			t.Errorf("%s: %d tensors, want %d", tc.name, got, tc.tensors)
+		}
+		gotMB := float64(m.TotalBytes()) / (1 << 20)
+		if diff := 100 * abs(gotMB-tc.sizeMB) / tc.sizeMB; diff > tc.tolPct {
+			t.Errorf("%s: %.0f MB, want %.0f MB +-%v%% (off %.1f%%)", tc.name, gotMB, tc.sizeMB, tc.tolPct, diff)
+		}
+		if m.BatchUnit != tc.unit || m.Batch != tc.batch {
+			t.Errorf("%s: batch %d %s, want %d %s", tc.name, m.Batch, m.BatchUnit, tc.batch, tc.unit)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestZooValidates(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestBackwardTimeDistribution(t *testing.T) {
+	for _, m := range All() {
+		bwd := m.Backward()
+		if bwd <= 0 {
+			t.Fatalf("%s: non-positive backward time", m.Name)
+		}
+		// Every tensor pays at least a kernel floor.
+		for _, tensor := range m.Tensors {
+			if tensor.Compute <= 0 {
+				t.Errorf("%s/%s: non-positive compute", m.Name, tensor.Name)
+			}
+		}
+		// Larger tensors take at least as long as the smallest.
+		var small, large Tensor
+		small = m.Tensors[0]
+		large = m.Tensors[0]
+		for _, tensor := range m.Tensors {
+			if tensor.Elems < small.Elems {
+				small = tensor
+			}
+			if tensor.Elems > large.Elems {
+				large = tensor
+			}
+		}
+		if large.Compute < small.Compute {
+			t.Errorf("%s: largest tensor computes faster (%v) than smallest (%v)",
+				m.Name, large.Compute, small.Compute)
+		}
+	}
+}
+
+func TestBackwardOrderIsLossSideFirst(t *testing.T) {
+	// In backward order, the loss-side parameters come first: VGG's
+	// fc3 gradient is produced before conv1's.
+	m := VGG16()
+	if m.Tensors[0].Name != "fc3.bias" {
+		t.Errorf("first backward tensor = %s, want fc3.bias", m.Tensors[0].Name)
+	}
+	last := m.Tensors[len(m.Tensors)-1]
+	if last.Name != "conv1.weight" {
+		t.Errorf("last backward tensor = %s, want conv1.weight", last.Name)
+	}
+}
+
+func TestDistanceToOutput(t *testing.T) {
+	m := Synthetic("s", []int{10, 10, 10}, []time.Duration{1, 1, 1}, 0)
+	// Paper terminology: the tensor computed last has distance 0.
+	if m.DistanceToOutput(2) != 0 || m.DistanceToOutput(0) != 2 {
+		t.Fatalf("distances = %d,%d", m.DistanceToOutput(2), m.DistanceToOutput(0))
+	}
+}
+
+func TestUGATITHasGiantFCTensors(t *testing.T) {
+	m := UGATIT()
+	giants := 0
+	for _, tensor := range m.Tensors {
+		if tensor.Bytes() >= 1<<30 {
+			giants++
+		}
+	}
+	if giants != 2 {
+		t.Fatalf("UGATIT has %d >1GB tensors, want 2 (one per generator)", giants)
+	}
+}
+
+func TestBERTSplitEmbedding(t *testing.T) {
+	m := BERTBase()
+	parts := 0
+	var partElems int
+	for _, tensor := range m.Tensors {
+		if strings.HasPrefix(tensor.Name, "embeddings.word") {
+			parts++
+			partElems += tensor.Elems
+		}
+	}
+	if parts != 7 {
+		t.Fatalf("word embedding split into %d parts, want 7", parts)
+	}
+	if partElems != 30522*768 {
+		t.Fatalf("split lost elements: %d != %d", partElems, 30522*768)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := LSTM()
+	c := m.Clone()
+	c.Tensors[0].Elems = 1
+	if m.Tensors[0].Elems == 1 {
+		t.Fatal("Clone shares tensor storage")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	good := Synthetic("ok", []int{5}, []time.Duration{time.Millisecond}, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Model{
+		{Name: "", Tensors: []Tensor{{Name: "t", Elems: 1}}},
+		{Name: "x"},
+		{Name: "x", Tensors: []Tensor{{Name: "", Elems: 1}}},
+		{Name: "x", Tensors: []Tensor{{Name: "t", Elems: 0}}},
+		{Name: "x", Tensors: []Tensor{{Name: "t", Elems: 1}, {Name: "t", Elems: 1}}},
+		{Name: "x", Tensors: []Tensor{{Name: "t", Elems: 1, Compute: -1}}},
+		{Name: "x", Tensors: []Tensor{{Name: "t", Elems: 1}}, Forward: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("alexnet"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestSyntheticPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	Synthetic("bad", []int{1, 2}, []time.Duration{1}, 0)
+}
+
+func TestSplitLargestPreservesOrderAndMass(t *testing.T) {
+	tensors := []Tensor{
+		{Name: "a", Elems: 10, Compute: time.Millisecond},
+		{Name: "big", Elems: 100, Compute: 10 * time.Millisecond},
+		{Name: "b", Elems: 20, Compute: 2 * time.Millisecond},
+	}
+	out := splitLargest(tensors, 4)
+	if len(out) != 6 {
+		t.Fatalf("got %d tensors, want 6", len(out))
+	}
+	if out[0].Name != "a" || out[5].Name != "b" {
+		t.Fatalf("order disturbed: %v", out)
+	}
+	sum := 0
+	for _, tensor := range out[1:5] {
+		sum += tensor.Elems
+	}
+	if sum != 100 {
+		t.Fatalf("split mass = %d, want 100", sum)
+	}
+}

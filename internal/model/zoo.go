@@ -1,0 +1,238 @@
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// The zoo builds the six benchmark models of Table 4 with layer-accurate
+// parameter shapes. Backward computation times are synthesized from
+// single-GPU iteration times calibrated against the paper's reported
+// scaling factors (see EXPERIMENTS.md): every tensor pays a per-kernel
+// floor plus a size-proportional share of the remaining backward time.
+
+// layer appends a named tensor in forward order.
+type builder struct {
+	tensors []Tensor
+}
+
+func (b *builder) add(name string, elems int) {
+	b.tensors = append(b.tensors, Tensor{Name: name, Elems: elems})
+}
+
+func (b *builder) conv(name string, kh, kw, in, out int, bias bool) {
+	b.add(name+".weight", kh*kw*in*out)
+	if bias {
+		b.add(name+".bias", out)
+	}
+}
+
+func (b *builder) norm(name string, ch int) {
+	b.add(name+".gamma", ch)
+	b.add(name+".beta", ch)
+}
+
+func (b *builder) linear(name string, in, out int, bias bool) {
+	b.add(name+".weight", in*out)
+	if bias {
+		b.add(name+".bias", out)
+	}
+}
+
+// finish reverses into backward order, distributes compute time, and
+// validates.
+func (b *builder) finish(name string, fwd, bwd, floor time.Duration, batch int, unit string) *Model {
+	tensors := reverse(b.tensors)
+	spreadBackward(tensors, bwd, floor)
+	m := &Model{Name: name, Tensors: tensors, Forward: fwd, Batch: batch, BatchUnit: unit}
+	if err := m.Validate(); err != nil {
+		panic(err) // zoo construction is static; any error is a bug
+	}
+	return m
+}
+
+// VGG16 is the 528 MB CNN of Simonyan & Zisserman: 13 conv layers and 3
+// fully connected layers, weight+bias each — 32 tensors.
+func VGG16() *Model {
+	b := &builder{}
+	cfg := []struct{ in, out int }{
+		{3, 64}, {64, 64},
+		{64, 128}, {128, 128},
+		{128, 256}, {256, 256}, {256, 256},
+		{256, 512}, {512, 512}, {512, 512},
+		{512, 512}, {512, 512}, {512, 512},
+	}
+	for i, c := range cfg {
+		b.conv(fmt.Sprintf("conv%d", i+1), 3, 3, c.in, c.out, true)
+	}
+	b.linear("fc1", 25088, 4096, true)
+	b.linear("fc2", 4096, 4096, true)
+	b.linear("fc3", 4096, 1000, true)
+	return b.finish("vgg16", 50*time.Millisecond, 110*time.Millisecond, 200*time.Microsecond, 32, "images")
+}
+
+// ResNet101 is the 170 MB residual CNN of He et al.: bottleneck stages
+// [3, 4, 23, 3] with batch-norm affine parameters — 314 tensors.
+func ResNet101() *Model {
+	b := &builder{}
+	b.conv("conv1", 7, 7, 3, 64, false)
+	b.norm("bn1", 64)
+	blocks := []int{3, 4, 23, 3}
+	planes := []int{64, 128, 256, 512}
+	in := 64
+	for stage, nb := range blocks {
+		p := planes[stage]
+		for blk := 0; blk < nb; blk++ {
+			prefix := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			b.conv(prefix+".conv1", 1, 1, in, p, false)
+			b.norm(prefix+".bn1", p)
+			b.conv(prefix+".conv2", 3, 3, p, p, false)
+			b.norm(prefix+".bn2", p)
+			b.conv(prefix+".conv3", 1, 1, p, 4*p, false)
+			b.norm(prefix+".bn3", 4*p)
+			if blk == 0 {
+				b.conv(prefix+".downsample", 1, 1, in, 4*p, false)
+				b.norm(prefix+".downsample.bn", 4*p)
+			}
+			in = 4 * p
+		}
+	}
+	b.linear("fc", 2048, 1000, true)
+	return b.finish("resnet101", 60*time.Millisecond, 120*time.Millisecond, 80*time.Microsecond, 32, "images")
+}
+
+// UGATIT is the 2.5 GB image-to-image GAN of Kim et al. Its two
+// generators each carry a ~268M-parameter fully connected layer (the
+// attention MLP over 64x64x256 features), which is what makes the model
+// so communication-intensive — 148 tensors.
+func UGATIT() *Model {
+	b := &builder{}
+	gen := func(g string) {
+		b.conv(g+".conv_in", 7, 7, 3, 64, false)
+		b.norm(g+".in_in", 64)
+		b.conv(g+".down1", 3, 3, 64, 128, false)
+		b.norm(g+".in_down1", 128)
+		b.conv(g+".down2", 3, 3, 128, 256, false)
+		b.norm(g+".in_down2", 256)
+		for r := 0; r < 6; r++ {
+			prefix := fmt.Sprintf("%s.res%d", g, r)
+			b.conv(prefix+".conv1", 3, 3, 256, 256, false)
+			b.norm(prefix+".in1", 256)
+			b.conv(prefix+".conv2", 3, 3, 256, 256, false)
+			b.norm(prefix+".in2", 256)
+		}
+		b.linear(g+".gap_fc", 256, 1, false)
+		b.linear(g+".gmp_fc", 256, 1, false)
+		b.conv(g+".conv1x1", 1, 1, 512, 256, true)
+		b.linear(g+".fc1", 64*64*256, 256, true) // the 268M-param MLP
+		b.linear(g+".fc2", 256, 256, true)
+		b.linear(g+".gamma", 256, 256, false)
+		b.linear(g+".beta", 256, 256, false)
+		b.conv(g+".up1", 3, 3, 256, 128, false)
+		b.add(g+".up1.rho", 128)
+		b.norm(g+".up1.lin", 128)
+		b.conv(g+".up2", 3, 3, 128, 64, false)
+		b.add(g+".up2.rho", 64)
+		b.norm(g+".up2.lin", 64)
+		b.conv(g+".conv_out", 7, 7, 64, 3, false)
+	}
+	disc := func(d string) {
+		// The 7-layer "global" discriminator of the reference
+		// implementation.
+		chans := []struct{ in, out int }{
+			{3, 64}, {64, 128}, {128, 256}, {256, 512}, {512, 1024}, {1024, 2048},
+		}
+		for i, c := range chans {
+			b.conv(fmt.Sprintf("%s.conv%d", d, i+1), 4, 4, c.in, c.out, false)
+		}
+		b.linear(d+".gap_fc", 2048, 1, false)
+		b.linear(d+".gmp_fc", 2048, 1, false)
+		b.conv(d+".conv1x1", 1, 1, 4096, 2048, false)
+		b.conv(d+".final", 4, 4, 2048, 1, false)
+	}
+	gen("genA2B")
+	gen("genB2A")
+	disc("discA")
+	disc("discB")
+	return b.finish("ugatit", 120*time.Millisecond, 230*time.Millisecond, 300*time.Microsecond, 2, "images")
+}
+
+// BERTBase is the 420 MB transformer encoder of Devlin et al. fine-tuned
+// for SQuAD. The 23M-element word embedding is partitioned into 7 pieces
+// the way BytePS splits very large tensors — 207 tensors.
+func BERTBase() *Model {
+	b := &builder{}
+	const hidden, ffn, vocab = 768, 3072, 30522
+	b.add("embeddings.word.weight", vocab*hidden)
+	b.add("embeddings.position.weight", 512*hidden)
+	b.add("embeddings.token_type.weight", 2*hidden)
+	b.norm("embeddings.ln", hidden)
+	for l := 0; l < 12; l++ {
+		prefix := fmt.Sprintf("encoder.layer%d", l)
+		for _, part := range []string{"query", "key", "value", "attn_out"} {
+			b.linear(prefix+".attention."+part, hidden, hidden, true)
+		}
+		b.norm(prefix+".attention.ln", hidden)
+		b.linear(prefix+".intermediate", hidden, ffn, true)
+		b.linear(prefix+".output", ffn, hidden, true)
+		b.norm(prefix+".output.ln", hidden)
+	}
+	b.linear("pooler", hidden, hidden, true)
+	b.linear("qa_outputs", hidden, 2, true)
+	tensors := splitLargest(b.tensors, 7)
+	b.tensors = tensors
+	return b.finish("bert-base", 25*time.Millisecond, 45*time.Millisecond, 40*time.Microsecond, 1024, "tokens")
+}
+
+// GPT2 is the 475 MB decoder-only transformer of Radford et al. (the 124M
+// parameter configuration) — 148 tensors.
+func GPT2() *Model {
+	b := &builder{}
+	const hidden, ffn, vocab, ctx = 768, 3072, 50257, 1024
+	b.add("wte.weight", vocab*hidden)
+	b.add("wpe.weight", ctx*hidden)
+	for l := 0; l < 12; l++ {
+		prefix := fmt.Sprintf("h%d", l)
+		b.norm(prefix+".ln_1", hidden)
+		b.linear(prefix+".attn.c_attn", hidden, 3*hidden, true)
+		b.linear(prefix+".attn.c_proj", hidden, hidden, true)
+		b.norm(prefix+".ln_2", hidden)
+		b.linear(prefix+".mlp.c_fc", hidden, ffn, true)
+		b.linear(prefix+".mlp.c_proj", ffn, hidden, true)
+	}
+	b.norm("ln_f", hidden)
+	return b.finish("gpt2", 30*time.Millisecond, 55*time.Millisecond, 60*time.Microsecond, 80, "tokens")
+}
+
+// LSTM is the 328 MB word-level language model of Merity et al. scaled to
+// a 1500-unit hidden state, with fused per-layer biases and the decoder
+// weight tied to the 50M-element embedding — 10 tensors.
+func LSTM() *Model {
+	b := &builder{}
+	const hidden, vocab = 1500, 33278
+	b.add("embedding.weight", vocab*hidden)
+	for l := 0; l < 2; l++ {
+		prefix := fmt.Sprintf("lstm%d", l)
+		b.add(prefix+".weight_ih", 4*hidden*hidden)
+		b.add(prefix+".weight_hh", 4*hidden*hidden)
+		b.add(prefix+".bias_ih", 4*hidden)
+		b.add(prefix+".bias_hh", 4*hidden)
+	}
+	b.add("decoder.bias", vocab)
+	return b.finish("lstm", 40*time.Millisecond, 80*time.Millisecond, 500*time.Microsecond, 80, "tokens")
+}
+
+// All returns fresh copies of the six benchmark models.
+func All() []*Model {
+	return []*Model{VGG16(), ResNet101(), UGATIT(), BERTBase(), GPT2(), LSTM()}
+}
+
+// ByName looks up a benchmark model.
+func ByName(name string) (*Model, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("model: unknown model %q", name)
+}

@@ -1,0 +1,173 @@
+// Package netsim is a message-level network simulator: nodes with
+// serialized egress links exchange individual messages through the
+// discrete-event kernel. The collective routines here move one message at
+// a time, with per-link bandwidth and per-message latency — independently
+// of the closed-form α–β cost models in the cost package, which they
+// exist to validate (the cross-check behind §4.3's claim that the
+// communication models are faithful). Unlike the closed forms, netsim
+// also expresses heterogeneity: a straggler link slows the whole ring.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"espresso/internal/sim"
+)
+
+// Network is a fully connected set of nodes.
+type Network struct {
+	eng    *sim.Engine
+	n      int
+	alpha  time.Duration
+	bps    [][]float64 // [src][dst] link bandwidth
+	egress []*sim.FIFO
+}
+
+// New builds an n-node network with uniform per-message latency alpha and
+// link bandwidth bps.
+func New(n int, alpha time.Duration, bps float64) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("netsim: %d nodes", n))
+	}
+	eng := sim.NewEngine()
+	nw := &Network{eng: eng, n: n, alpha: alpha}
+	nw.bps = make([][]float64, n)
+	nw.egress = make([]*sim.FIFO, n)
+	for i := 0; i < n; i++ {
+		nw.bps[i] = make([]float64, n)
+		for j := range nw.bps[i] {
+			nw.bps[i][j] = bps
+		}
+		nw.egress[i] = sim.NewFIFO(eng, fmt.Sprintf("egress%d", i))
+	}
+	return nw
+}
+
+// SetLink overrides the bandwidth of the src->dst link (stragglers,
+// oversubscription).
+func (nw *Network) SetLink(src, dst int, bps float64) {
+	nw.bps[src][dst] = bps
+}
+
+// Nodes reports the node count.
+func (nw *Network) Nodes() int { return nw.n }
+
+// send transmits bytes from src to dst: the message serializes on src's
+// egress link for its per-message overhead plus transfer time (the LogP
+// sender-side o+L cost), and done fires at arrival.
+func (nw *Network) send(src, dst int, bytes int64, done func()) {
+	if src == dst {
+		panic("netsim: self-send")
+	}
+	xfer := time.Duration(float64(bytes) / nw.bps[src][dst] * float64(time.Second))
+	nw.egress[src].Submit("msg", nw.eng.Now(), nw.alpha+xfer, func(sp sim.Span) {
+		done()
+	})
+}
+
+// run drains the event queue and returns the finish time.
+func (nw *Network) run() time.Duration { return nw.eng.Run() }
+
+// RingAllreduce simulates a ring allreduce of a bytes-sized tensor:
+// 2(n-1) rounds in which every node forwards a 1/n chunk to its
+// successor, each round gated on the previous round's arrival.
+func (nw *Network) RingAllreduce(bytes int64) time.Duration {
+	return nw.ring(2*(nw.n-1), bytes/int64(nw.n))
+}
+
+// RingAllgather simulates a ring allgather where every node contributes
+// contrib bytes: n-1 rounds of full-contribution forwards.
+func (nw *Network) RingAllgather(contrib int64) time.Duration {
+	return nw.ring(nw.n-1, contrib)
+}
+
+// RingReduceScatter simulates the first half of the ring allreduce.
+func (nw *Network) RingReduceScatter(bytes int64) time.Duration {
+	return nw.ring(nw.n-1, bytes/int64(nw.n))
+}
+
+func (nw *Network) ring(steps int, chunk int64) time.Duration {
+	if nw.n == 1 || steps == 0 {
+		return 0
+	}
+	var trySend func(i, step int)
+	trySend = func(i, step int) {
+		next := (i + 1) % nw.n
+		nw.send(i, next, chunk, func() {
+			// Arrival of round `step` at `next` gates its round
+			// step+1 send.
+			if step+1 < steps {
+				trySend(next, step+1)
+			}
+		})
+	}
+	for i := 0; i < nw.n; i++ {
+		trySend(i, 0)
+	}
+	return nw.run()
+}
+
+// Alltoall simulates a pairwise exchange: every node sends a contrib/n
+// slice to each of the other nodes, serialized on its egress link.
+func (nw *Network) Alltoall(contrib int64) time.Duration {
+	if nw.n == 1 {
+		return 0
+	}
+	slice := contrib / int64(nw.n)
+	for i := 0; i < nw.n; i++ {
+		for off := 1; off < nw.n; off++ {
+			nw.send(i, (i+off)%nw.n, slice, func() {})
+		}
+	}
+	return nw.run()
+}
+
+// HierarchicalAllreduce simulates the three-phase hierarchical gradient
+// synchronization of Figure 1 at message level: a ring reduce-scatter
+// among the k GPUs of each machine, a ring allreduce of the machine
+// aggregate among the N machines, and a ring allgather within each
+// machine — phases serialized, machines symmetric. alpha applies to every
+// message.
+func HierarchicalAllreduce(k, n int, intraBps, interBps float64, alpha time.Duration, bytes int64) time.Duration {
+	var total time.Duration
+	if k > 1 {
+		intra := New(k, alpha, intraBps)
+		total += intra.RingReduceScatter(bytes)
+	}
+	if n > 1 {
+		// The k lanes share the NIC; their aggregate equals one
+		// machine-level allreduce of the full tensor.
+		inter := New(n, alpha, interBps)
+		total += inter.RingAllreduce(bytes)
+	}
+	if k > 1 {
+		intra := New(k, alpha, intraBps)
+		total += intra.RingAllgather(bytes / int64(k))
+	}
+	return total
+}
+
+// TreeBroadcast simulates a binomial-tree broadcast of bytes from node 0.
+func (nw *Network) TreeBroadcast(bytes int64) time.Duration {
+	if nw.n == 1 {
+		return 0
+	}
+	top := 1
+	for top*2 < nw.n {
+		top *= 2
+	}
+	var expand func(r, dist int)
+	expand = func(r, dist int) {
+		for d := dist; d >= 1; d /= 2 {
+			if r+d < nw.n {
+				d := d
+				nw.send(r, r+d, bytes, func() {
+					expand(r+d, d/2)
+				})
+			}
+		}
+	}
+	expand(0, top)
+	return nw.run()
+}

@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+)
+
+const bps = 10e9
+
+func within(t *testing.T, name string, got, want time.Duration, tolPct float64) {
+	t.Helper()
+	diff := math.Abs(float64(got-want)) / float64(want) * 100
+	if diff > tolPct {
+		t.Errorf("%s: netsim %v vs model %v (%.1f%% apart, tol %v%%)", name, got, want, diff, tolPct)
+	}
+}
+
+// With zero latency the message-level simulation must match the α–β
+// closed forms exactly (up to integer chunking).
+func TestRingMatchesModelZeroLatency(t *testing.T) {
+	link := cost.Link{Alpha: 0, Bps: bps}
+	for _, n := range []int{2, 4, 8} {
+		nw := New(n, 0, bps)
+		bytes := int64(64 << 20)
+		within(t, "allreduce", nw.RingAllreduce(bytes), link.Allreduce(n, bytes), 1)
+
+		nw = New(n, 0, bps)
+		within(t, "allgather", nw.RingAllgather(1<<20), link.Allgather(n, 1<<20), 1)
+
+		nw = New(n, 0, bps)
+		within(t, "reduce-scatter", nw.RingReduceScatter(bytes), link.ReduceScatter(n, bytes), 1)
+	}
+}
+
+// With realistic latency the closed forms stay within ~15% of the
+// message-level simulation — the §4.3 faithfulness check.
+func TestModelsFaithfulWithLatency(t *testing.T) {
+	alpha := 30 * time.Microsecond
+	link := cost.Link{Alpha: alpha, Bps: bps}
+	for _, n := range []int{4, 8, 16} {
+		bytes := int64(16 << 20)
+		nw := New(n, alpha, bps)
+		within(t, "allreduce", nw.RingAllreduce(bytes), link.Allreduce(n, bytes), 15)
+
+		nw = New(n, alpha, bps)
+		within(t, "allgather", nw.RingAllgather(1<<20), link.Allgather(n, 1<<20), 15)
+
+		nw = New(n, alpha, bps)
+		within(t, "alltoall", nw.Alltoall(8<<20), link.Alltoall(n, 8<<20), 25)
+
+		nw = New(n, alpha, bps)
+		within(t, "broadcast", nw.TreeBroadcast(4<<20), link.Broadcast(n, 4<<20), 25)
+	}
+}
+
+// A straggler link slows the whole ring — heterogeneity the closed-form
+// model cannot see, and the reason netsim exists as a separate check.
+func TestStragglerSlowsRing(t *testing.T) {
+	n := 8
+	bytes := int64(64 << 20)
+	fast := New(n, 0, bps)
+	base := fast.RingAllreduce(bytes)
+
+	slow := New(n, 0, bps)
+	slow.SetLink(3, 4, bps/4)
+	degraded := slow.RingAllreduce(bytes)
+	if degraded <= base {
+		t.Fatalf("straggler did not slow the ring: %v <= %v", degraded, base)
+	}
+	// The ring is gated by its slowest link: expect roughly 4x.
+	if float64(degraded) < 3*float64(base) {
+		t.Fatalf("straggler impact too small: %v vs %v", degraded, base)
+	}
+}
+
+func TestSingleNodeIsFree(t *testing.T) {
+	nw := New(1, time.Millisecond, bps)
+	if nw.RingAllreduce(1<<20) != 0 {
+		t.Fatal("single-node allreduce should be free")
+	}
+	nw = New(1, time.Millisecond, bps)
+	if nw.TreeBroadcast(1<<20) != 0 {
+		t.Fatal("single-node broadcast should be free")
+	}
+}
+
+func TestBroadcastReachesAllNodeCounts(t *testing.T) {
+	// Completion time grows with ceil(log2 n) tree depth.
+	prev := time.Duration(0)
+	for _, n := range []int{2, 4, 8, 16} {
+		nw := New(n, 0, bps)
+		d := nw.TreeBroadcast(32 << 20)
+		if d < prev {
+			t.Fatalf("broadcast time decreased from %v to %v at n=%d", prev, d, n)
+		}
+		prev = d
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	nw := New(2, 0, bps)
+	nw.send(1, 1, 10, func() {})
+}
+
+// The message-level hierarchical composition agrees with the timeline
+// engine's three-phase FP32 chain for a single tensor — the end-to-end
+// faithfulness check tying netsim to the analytic models.
+func TestHierarchicalMatchesTimelineChain(t *testing.T) {
+	c := cluster.NVLinkTestbed(4)
+	cm, err := cost.NewModels(c, compress.Spec{ID: compress.FP32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.Synthetic("one", []int{8 << 20}, []time.Duration{0}, 0)
+	eng := timeline.New(m, c, cm)
+	eng.RecordOps = false
+	s := strategy.Uniform(1, strategy.NoCompression(c))
+	analytic, err := eng.IterTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := HierarchicalAllreduce(
+		c.GPUsPerMachine, c.Machines,
+		c.IntraBandwidth, c.InterBandwidth,
+		c.InterLatency, // conservative: the larger latency everywhere
+		m.Tensors[0].Bytes())
+	within(t, "hierarchical", simulated, analytic, 20)
+}

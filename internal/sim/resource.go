@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Span records when a job held a resource.
+type Span struct {
+	Label string
+	Ready time.Duration // when the job was submitted
+	Start time.Duration // when the resource was granted
+	End   time.Duration // Start + duration
+}
+
+// Queued reports how long the job waited for the resource.
+func (s Span) Queued() time.Duration { return s.Start - s.Ready }
+
+// FIFO is a resource that serves jobs one at a time in submission order.
+// It is used for exclusive devices: a GPU compute stream, a NIC, an
+// intra-machine link, a host compression thread.
+//
+// FIFO supports two usage styles. Reserve is the synchronous analytic
+// style: given a ready time it immediately computes the span the job will
+// occupy, without involving the event engine — the style the timeline
+// engine uses for fast F(S) evaluation. Submit is the event-driven style:
+// the completion callback fires through the engine at the span's end.
+type FIFO struct {
+	Name  string
+	eng   *Engine
+	free  time.Duration // earliest instant the resource is idle
+	spans []Span
+	busy  time.Duration // accumulated service time
+}
+
+// NewFIFO returns a FIFO resource attached to eng. eng may be nil when the
+// resource is used only through Reserve.
+func NewFIFO(eng *Engine, name string) *FIFO {
+	return &FIFO{Name: name, eng: eng}
+}
+
+// Reserve books dur of exclusive time for a job that becomes ready at
+// ready, and returns the span it will occupy. Jobs must be reserved in
+// non-decreasing priority order by the caller; the resource itself imposes
+// FIFO service among reservations in the order they are made.
+func (f *FIFO) Reserve(label string, ready, dur time.Duration) Span {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative duration %v on %s", dur, f.Name))
+	}
+	start := ready
+	if f.free > start {
+		start = f.free
+	}
+	sp := Span{Label: label, Ready: ready, Start: start, End: start + dur}
+	f.free = sp.End
+	f.busy += dur
+	f.spans = append(f.spans, sp)
+	return sp
+}
+
+// Submit books the job like Reserve and additionally schedules done (if
+// non-nil) on the engine at the span's end.
+func (f *FIFO) Submit(label string, ready, dur time.Duration, done func(Span)) Span {
+	sp := f.Reserve(label, ready, dur)
+	if done != nil {
+		if f.eng == nil {
+			panic("sim: Submit with callback on detached FIFO " + f.Name)
+		}
+		f.eng.Schedule(sp.End, func() { done(sp) })
+	}
+	return sp
+}
+
+// Free reports the earliest instant the resource is idle given the
+// reservations so far.
+func (f *FIFO) Free() time.Duration { return f.free }
+
+// Busy reports the accumulated service time across all reservations.
+func (f *FIFO) Busy() time.Duration { return f.busy }
+
+// Spans returns the reservation history in service order.
+func (f *FIFO) Spans() []Span { return f.spans }
+
+// Reset clears all reservations, returning the resource to idle at time 0.
+func (f *FIFO) Reset() {
+	f.free = 0
+	f.busy = 0
+	f.spans = f.spans[:0]
+}
+
+// Gaps returns the idle intervals between consecutive reservations,
+// excluding the leading idle period before the first job. These are the
+// "bubbles" of Espresso's Property #1 when applied to a communication
+// resource.
+func (f *FIFO) Gaps() []Span {
+	var gaps []Span
+	for i := 1; i < len(f.spans); i++ {
+		prev, cur := f.spans[i-1], f.spans[i]
+		if cur.Start > prev.End {
+			gaps = append(gaps, Span{Label: "gap", Start: prev.End, End: cur.Start})
+		}
+	}
+	return gaps
+}
+
+// Pool is a resource with c identical servers; jobs are dispatched to the
+// earliest-free server in submission order. It models a host-side
+// compression worker pool.
+type Pool struct {
+	Name    string
+	eng     *Engine
+	servers []time.Duration
+	spans   []Span
+	busy    time.Duration
+}
+
+// NewPool returns a pool with c servers. c must be positive.
+func NewPool(eng *Engine, name string, c int) *Pool {
+	if c <= 0 {
+		panic(fmt.Sprintf("sim: pool %s needs at least one server, got %d", name, c))
+	}
+	return &Pool{Name: name, eng: eng, servers: make([]time.Duration, c)}
+}
+
+// Reserve books dur on the earliest-free server for a job ready at ready.
+func (p *Pool) Reserve(label string, ready, dur time.Duration) Span {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative duration %v on %s", dur, p.Name))
+	}
+	best := 0
+	for i, free := range p.servers {
+		if free < p.servers[best] {
+			best = i
+		}
+		_ = free
+	}
+	start := ready
+	if p.servers[best] > start {
+		start = p.servers[best]
+	}
+	sp := Span{Label: label, Ready: ready, Start: start, End: start + dur}
+	p.servers[best] = sp.End
+	p.busy += dur
+	p.spans = append(p.spans, sp)
+	return sp
+}
+
+// Submit books the job like Reserve and schedules done at completion.
+func (p *Pool) Submit(label string, ready, dur time.Duration, done func(Span)) Span {
+	sp := p.Reserve(label, ready, dur)
+	if done != nil {
+		if p.eng == nil {
+			panic("sim: Submit with callback on detached Pool " + p.Name)
+		}
+		p.eng.Schedule(sp.End, func() { done(sp) })
+	}
+	return sp
+}
+
+// Busy reports accumulated service time across all servers.
+func (p *Pool) Busy() time.Duration { return p.busy }
+
+// Spans returns the reservation history in submission order.
+func (p *Pool) Spans() []Span { return p.spans }
+
+// Reset clears all reservations.
+func (p *Pool) Reset() {
+	for i := range p.servers {
+		p.servers[i] = 0
+	}
+	p.busy = 0
+	p.spans = p.spans[:0]
+}

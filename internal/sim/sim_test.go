@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30*time.Millisecond {
+		t.Fatalf("end = %v, want 30ms", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineBreaksTiesBySubmissionOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(time.Millisecond, func() {
+		fired = append(fired, e.Now())
+		e.After(2*time.Millisecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 3*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5*time.Millisecond, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1*time.Millisecond, func() { ran++ })
+	e.Schedule(5*time.Millisecond, func() { ran++ })
+	e.RunUntil(2 * time.Millisecond)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d after Run, want 2", ran)
+	}
+}
+
+func TestFIFOSerializesJobs(t *testing.T) {
+	f := NewFIFO(nil, "gpu")
+	a := f.Reserve("a", 0, 10*time.Millisecond)
+	b := f.Reserve("b", 5*time.Millisecond, 10*time.Millisecond)
+	if a.Start != 0 || a.End != 10*time.Millisecond {
+		t.Fatalf("a = %+v", a)
+	}
+	if b.Start != 10*time.Millisecond {
+		t.Fatalf("b started at %v, want 10ms (queued behind a)", b.Start)
+	}
+	if b.Queued() != 5*time.Millisecond {
+		t.Fatalf("b queued %v, want 5ms", b.Queued())
+	}
+}
+
+func TestFIFOIdleGap(t *testing.T) {
+	f := NewFIFO(nil, "net")
+	f.Reserve("a", 0, 2*time.Millisecond)
+	f.Reserve("b", 8*time.Millisecond, time.Millisecond)
+	gaps := f.Gaps()
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %v, want one", gaps)
+	}
+	if gaps[0].Start != 2*time.Millisecond || gaps[0].End != 8*time.Millisecond {
+		t.Fatalf("gap = %+v", gaps[0])
+	}
+}
+
+func TestFIFOSubmitFiresCallback(t *testing.T) {
+	e := NewEngine()
+	f := NewFIFO(e, "nic")
+	var doneAt time.Duration
+	e.Schedule(0, func() {
+		f.Submit("x", e.Now(), 7*time.Millisecond, func(sp Span) { doneAt = e.Now() })
+	})
+	e.Run()
+	if doneAt != 7*time.Millisecond {
+		t.Fatalf("doneAt = %v, want 7ms", doneAt)
+	}
+}
+
+func TestPoolRunsJobsConcurrently(t *testing.T) {
+	p := NewPool(nil, "cpu", 2)
+	a := p.Reserve("a", 0, 10*time.Millisecond)
+	b := p.Reserve("b", 0, 10*time.Millisecond)
+	c := p.Reserve("c", 0, 10*time.Millisecond)
+	if a.Start != 0 || b.Start != 0 {
+		t.Fatalf("a,b should start immediately: %v %v", a, b)
+	}
+	if c.Start != 10*time.Millisecond {
+		t.Fatalf("c.Start = %v, want 10ms", c.Start)
+	}
+}
+
+func TestPoolSingleServerMatchesFIFO(t *testing.T) {
+	p := NewPool(nil, "cpu", 1)
+	f := NewFIFO(nil, "cpu")
+	rng := rand.New(rand.NewSource(42))
+	ready := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		ready += time.Duration(rng.Intn(5)) * time.Millisecond
+		dur := time.Duration(rng.Intn(10)) * time.Millisecond
+		ps := p.Reserve("j", ready, dur)
+		fs := f.Reserve("j", ready, dur)
+		if ps != fs {
+			t.Fatalf("job %d: pool %+v != fifo %+v", i, ps, fs)
+		}
+	}
+}
+
+func TestResetRestoresIdle(t *testing.T) {
+	f := NewFIFO(nil, "x")
+	f.Reserve("a", 0, time.Second)
+	f.Reset()
+	if f.Free() != 0 || f.Busy() != 0 || len(f.Spans()) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	p := NewPool(nil, "y", 3)
+	p.Reserve("a", 0, time.Second)
+	p.Reset()
+	if p.Busy() != 0 || len(p.Spans()) != 0 {
+		t.Fatal("pool reset did not clear state")
+	}
+}
+
+// Property: FIFO spans never overlap and respect both ready times and
+// submission order.
+func TestFIFONoOverlapProperty(t *testing.T) {
+	prop := func(readies []uint16, durs []uint16) bool {
+		n := len(readies)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		f := NewFIFO(nil, "p")
+		ready := time.Duration(0)
+		for i := 0; i < n; i++ {
+			ready += time.Duration(readies[i]%100) * time.Microsecond
+			f.Reserve("j", ready, time.Duration(durs[i]%1000)*time.Microsecond)
+		}
+		spans := f.Spans()
+		for i := range spans {
+			if spans[i].Start < spans[i].Ready {
+				return false
+			}
+			if i > 0 && spans[i].Start < spans[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total busy time equals the sum of requested durations.
+func TestBusyAccountingProperty(t *testing.T) {
+	prop := func(durs []uint16) bool {
+		f := NewFIFO(nil, "p")
+		var want time.Duration
+		for _, d := range durs {
+			dd := time.Duration(d%5000) * time.Microsecond
+			want += dd
+			f.Reserve("j", 0, dd)
+		}
+		return f.Busy() == want && f.Free() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative duration did not panic")
+		}
+	}()
+	NewFIFO(nil, "x").Reserve("bad", 0, -time.Second)
+}

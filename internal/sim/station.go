@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Station is a single-server resource with work-conserving, non-preemptive
+// priority scheduling: when the server frees up it starts the
+// lowest-priority-value job that is ready, regardless of submission order.
+// DDL frameworks schedule communication this way — tensors closer to the
+// head of the queue (lower layer index) go first, but the link never
+// idles while some tensor is ready.
+//
+// Unlike FIFO, Station is event-driven only: jobs are offered through
+// Offer and started by the engine as time advances.
+type Station struct {
+	Name string
+	eng  *Engine
+
+	queue       stationQueue
+	busy        bool
+	kickPending bool
+	seq         uint64
+	spans       []Span
+	total       time.Duration
+}
+
+// NewStation returns an idle station attached to eng.
+func NewStation(eng *Engine, name string) *Station {
+	return &Station{Name: name, eng: eng}
+}
+
+type stationJob struct {
+	prio  int64
+	seq   uint64
+	label string
+	dur   time.Duration
+	done  func(Span)
+	ready time.Duration
+}
+
+// Offer submits a job that is ready now. done runs at completion (may be
+// nil). Lower prio values are served first among ready jobs.
+func (s *Station) Offer(prio int64, label string, dur time.Duration, done func(Span)) {
+	if dur < 0 {
+		panic("sim: negative duration on station " + s.Name)
+	}
+	s.seq++
+	s.queue.push(&stationJob{
+		prio: prio, seq: s.seq,
+		label: label, dur: dur, done: done, ready: s.eng.Now(),
+	})
+	// Dispatch at the end of the current instant so that every job
+	// offered at the same virtual time competes on priority, not on
+	// offer order.
+	if !s.busy && !s.kickPending {
+		s.kickPending = true
+		s.eng.Schedule(s.eng.Now(), func() {
+			s.kickPending = false
+			s.kick()
+		})
+	}
+}
+
+func (s *Station) kick() {
+	if s.busy || s.queue.Len() == 0 {
+		return
+	}
+	j := s.queue.pop()
+	s.busy = true
+	start := s.eng.Now()
+	sp := Span{Label: j.label, Ready: j.ready, Start: start, End: start + j.dur}
+	s.eng.Schedule(sp.End, func() {
+		s.busy = false
+		s.spans = append(s.spans, sp)
+		s.total += j.dur
+		if j.done != nil {
+			j.done(sp)
+		}
+		s.kick()
+	})
+}
+
+// Spans returns completed service spans in completion order.
+func (s *Station) Spans() []Span { return s.spans }
+
+// Busy reports accumulated service time of completed jobs.
+func (s *Station) Busy() time.Duration { return s.total }
+
+// Reset clears all state; pending queued jobs are dropped (callers reset
+// between independent evaluations, never mid-run).
+func (s *Station) Reset() {
+	s.queue = stationQueue{}
+	s.busy = false
+	s.kickPending = false
+	s.seq = 0
+	s.spans = s.spans[:0]
+	s.total = 0
+}
+
+// Gaps returns idle intervals between consecutive completed spans.
+func (s *Station) Gaps() []Span {
+	var gaps []Span
+	for i := 1; i < len(s.spans); i++ {
+		prev, cur := s.spans[i-1], s.spans[i]
+		if cur.Start > prev.End {
+			gaps = append(gaps, Span{Label: "gap", Start: prev.End, End: cur.Start})
+		}
+	}
+	return gaps
+}
+
+type stationQueue []*stationJob
+
+func (q stationQueue) Len() int { return len(q) }
+func (q stationQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q stationQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *stationQueue) Push(x any)   { *q = append(*q, x.(*stationJob)) }
+func (q *stationQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
+func (q *stationQueue) push(j *stationJob) { heap.Push(q, j) }
+func (q *stationQueue) pop() *stationJob   { return heap.Pop(q).(*stationJob) }

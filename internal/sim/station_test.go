@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStationServesByPriorityAmongReady(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "net")
+	var order []string
+	log := func(name string) func(Span) {
+		return func(Span) { order = append(order, name) }
+	}
+	e.Schedule(0, func() {
+		st.Offer(5, "low", 10*time.Millisecond, log("low"))
+		st.Offer(1, "high", 10*time.Millisecond, log("high"))
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Fatalf("order = %v, want [high low]", order)
+	}
+}
+
+func TestStationIsWorkConserving(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "net")
+	var lowStart time.Duration
+	// The high-priority job arrives only at t=5ms; the low-priority job
+	// is ready at t=0 and must start immediately — the link never idles
+	// waiting for a not-yet-ready higher-priority tensor.
+	e.Schedule(0, func() {
+		st.Offer(10, "low", 20*time.Millisecond, func(sp Span) { lowStart = sp.Start })
+	})
+	e.Schedule(5*time.Millisecond, func() {
+		st.Offer(1, "high", time.Millisecond, nil)
+	})
+	e.Run()
+	if lowStart != 0 {
+		t.Fatalf("low started at %v, want 0 (work conservation)", lowStart)
+	}
+	spans := st.Spans()
+	if len(spans) != 2 || spans[1].Start != 20*time.Millisecond {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestStationNonPreemptive(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "gpu")
+	var ends []time.Duration
+	e.Schedule(0, func() {
+		st.Offer(5, "running", 10*time.Millisecond, func(sp Span) { ends = append(ends, sp.End) })
+	})
+	e.Schedule(1*time.Millisecond, func() {
+		st.Offer(0, "urgent", time.Millisecond, func(sp Span) { ends = append(ends, sp.End) })
+	})
+	e.Run()
+	// The running job finishes at 10ms, then urgent runs 10..11ms.
+	if len(ends) != 2 || ends[0] != 10*time.Millisecond || ends[1] != 11*time.Millisecond {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func TestStationGapsAndBusy(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "net")
+	e.Schedule(0, func() { st.Offer(0, "a", 2*time.Millisecond, nil) })
+	e.Schedule(8*time.Millisecond, func() { st.Offer(1, "b", time.Millisecond, nil) })
+	e.Run()
+	gaps := st.Gaps()
+	if len(gaps) != 1 || gaps[0].Start != 2*time.Millisecond || gaps[0].End != 8*time.Millisecond {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if st.Busy() != 3*time.Millisecond {
+		t.Fatalf("busy = %v", st.Busy())
+	}
+}
+
+func TestStationChainedJobs(t *testing.T) {
+	e := NewEngine()
+	a := NewStation(e, "gpu")
+	b := NewStation(e, "net")
+	var commEnd time.Duration
+	e.Schedule(0, func() {
+		a.Offer(0, "compute", 5*time.Millisecond, func(Span) {
+			b.Offer(0, "comm", 7*time.Millisecond, func(sp Span) { commEnd = sp.End })
+		})
+	})
+	e.Run()
+	if commEnd != 12*time.Millisecond {
+		t.Fatalf("comm end = %v, want 12ms", commEnd)
+	}
+}
+
+func TestStationReset(t *testing.T) {
+	e := NewEngine()
+	st := NewStation(e, "x")
+	e.Schedule(0, func() { st.Offer(0, "a", time.Millisecond, nil) })
+	e.Run()
+	st.Reset()
+	if st.Busy() != 0 || len(st.Spans()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

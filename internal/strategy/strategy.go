@@ -1,0 +1,272 @@
+// Package strategy implements Espresso's decision-tree abstraction
+// (§4.2): a compression option for a tensor is a valid sequence of action
+// tasks (Table 3) — compression, decompression, and collective
+// communication operations — and a compression strategy assigns one
+// option to every tensor of a DNN model.
+//
+// The search space has four dimensions: (1) compress or not, (2) GPU or
+// CPU for each compression operation, (3) the communication scheme —
+// flat vs. hierarchical, indivisible vs. divisible, and which collective
+// routine per phase — and (4) where along the pipeline compression and
+// decompression happen. Enumerate walks the decision tree of Figure 8,
+// applying its three pruning rules: only valid task connections, routines
+// matched to the correct step, and first/second steps of a divisible
+// scheme paired (Reduce-scatter/Alltoall with Allgather, Reduce/Gather
+// with Broadcast).
+package strategy
+
+import (
+	"fmt"
+	"strings"
+
+	"espresso/internal/cluster"
+	"espresso/internal/cost"
+)
+
+// Act is the kind of an action task.
+type Act uint8
+
+const (
+	// Comp is a compression operation (Task Comp of Table 3).
+	Comp Act = iota
+	// Decomp is a decompression (plus dense aggregation) operation.
+	Decomp
+	// Comm is a collective communication operation.
+	Comm
+)
+
+// Scope is the communication domain of a Comm step.
+type Scope uint8
+
+const (
+	// Intra is communication among the k GPUs of one machine.
+	Intra Scope = iota
+	// Inter is communication among the N machines.
+	Inter
+	// Flat is a single-phase collective over all N*k GPUs.
+	Flat
+)
+
+func (s Scope) String() string {
+	switch s {
+	case Intra:
+		return "intra"
+	case Inter:
+		return "inter"
+	case Flat:
+		return "flat"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Routine is a collective routine from Table 2.
+type Routine uint8
+
+const (
+	Allreduce Routine = iota
+	ReduceScatter
+	Allgather
+	Alltoall
+	Reduce
+	Broadcast
+	Gather
+)
+
+func (r Routine) String() string {
+	switch r {
+	case Allreduce:
+		return "allreduce"
+	case ReduceScatter:
+		return "reduce-scatter"
+	case Allgather:
+		return "allgather"
+	case Alltoall:
+		return "alltoall"
+	case Reduce:
+		return "reduce"
+	case Broadcast:
+		return "broadcast"
+	case Gather:
+		return "gather"
+	default:
+		return fmt.Sprintf("Routine(%d)", int(r))
+	}
+}
+
+// Step is one action task in a compression option.
+type Step struct {
+	Act Act
+	// Routine and Scope apply to Comm steps.
+	Routine Routine
+	Scope   Scope
+	// Compressed reports whether the payload of a Comm step is
+	// compressed.
+	Compressed bool
+	// Second marks the second operation of a divisible scheme (Comm2 /
+	// Comm2comp in Table 3): it gathers *different shards* into the
+	// full region, whereas an indivisible Allgather collects same-region
+	// payloads from every node.
+	Second bool
+	// Dev is the compute resource of a Comp/Decomp step.
+	Dev cost.Device
+}
+
+func (s Step) String() string {
+	switch s.Act {
+	case Comp:
+		return fmt.Sprintf("comp(%v)", s.Dev)
+	case Decomp:
+		return fmt.Sprintf("decomp(%v)", s.Dev)
+	default:
+		tag := ""
+		if s.Compressed {
+			tag = "*"
+		}
+		if s.Second {
+			tag += "2"
+		}
+		return fmt.Sprintf("%s.%s%s", s.Scope, s.Routine, tag)
+	}
+}
+
+// Option is one compression option: a path from Start to End through the
+// decision tree.
+type Option struct {
+	// Hier reports whether the option uses hierarchical communication
+	// (intra, inter, intra phases) rather than one flat phase.
+	Hier bool
+	// Steps is the action-task sequence.
+	Steps []Step
+}
+
+// Compressed reports whether the option compresses the tensor anywhere
+// (Dimension 1).
+func (o Option) Compressed() bool {
+	for _, s := range o.Steps {
+		if s.Act == Comp {
+			return true
+		}
+	}
+	return false
+}
+
+// CompOps counts compression plus decompression operations.
+func (o Option) CompOps() int {
+	n := 0
+	for _, s := range o.Steps {
+		if s.Act != Comm {
+			n++
+		}
+	}
+	return n
+}
+
+// Devices returns the devices of the Comp/Decomp steps in order.
+func (o Option) Devices() []cost.Device {
+	var devs []cost.Device
+	for _, s := range o.Steps {
+		if s.Act != Comm {
+			devs = append(devs, s.Dev)
+		}
+	}
+	return devs
+}
+
+// AllOn reports whether every compression operation runs on dev. Options
+// without compression report false.
+func (o Option) AllOn(dev cost.Device) bool {
+	found := false
+	for _, s := range o.Steps {
+		if s.Act != Comm {
+			if s.Dev != dev {
+				return false
+			}
+			found = true
+		}
+	}
+	return found
+}
+
+// WithDevice returns a copy with every Comp/Decomp step assigned to dev.
+// It is how Espresso's CPU offloading (§4.4.3) moves a tensor's
+// compression between device types.
+func (o Option) WithDevice(dev cost.Device) Option {
+	steps := append([]Step(nil), o.Steps...)
+	for i := range steps {
+		if steps[i].Act != Comm {
+			steps[i].Dev = dev
+		}
+	}
+	return Option{Hier: o.Hier, Steps: steps}
+}
+
+// Key is a canonical identity string, used for deduplication and for
+// grouping tensors "with the same compression option" (Lemma 1).
+func (o Option) Key() string {
+	var b strings.Builder
+	if o.Hier {
+		b.WriteString("hier|")
+	} else {
+		b.WriteString("flat|")
+	}
+	for i, s := range o.Steps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+func (o Option) String() string { return o.Key() }
+
+// Equal reports step-wise equality.
+func (o Option) Equal(p Option) bool { return o.Key() == p.Key() }
+
+// Strategy assigns a compression option to each tensor of a model,
+// indexed by backward computation order (S = {c_j} in §4.2.2).
+type Strategy struct {
+	PerTensor []Option
+}
+
+// Uniform builds a strategy applying the same option to n tensors.
+func Uniform(n int, o Option) *Strategy {
+	s := &Strategy{PerTensor: make([]Option, n)}
+	for i := range s.PerTensor {
+		s.PerTensor[i] = o
+	}
+	return s
+}
+
+// Clone deep-copies the strategy (step slices are shared — options are
+// treated as immutable values).
+func (s *Strategy) Clone() *Strategy {
+	return &Strategy{PerTensor: append([]Option(nil), s.PerTensor...)}
+}
+
+// CompressedCount reports how many tensors the strategy compresses.
+func (s *Strategy) CompressedCount() int {
+	n := 0
+	for _, o := range s.PerTensor {
+		if o.Compressed() {
+			n++
+		}
+	}
+	return n
+}
+
+// NoCompression returns the canonical uncompressed option for a cluster:
+// hierarchical reduce-scatter / allreduce / allgather when the cluster has
+// both intra- and inter-machine communication, otherwise a flat
+// allreduce. This is what FP32 baselines run.
+func NoCompression(c *cluster.Cluster) Option {
+	if c.Machines > 1 && c.GPUsPerMachine > 1 {
+		return Option{Hier: true, Steps: []Step{
+			{Act: Comm, Routine: ReduceScatter, Scope: Intra},
+			{Act: Comm, Routine: Allreduce, Scope: Inter},
+			{Act: Comm, Routine: Allgather, Scope: Intra, Second: true},
+		}}
+	}
+	return Option{Steps: []Step{{Act: Comm, Routine: Allreduce, Scope: Flat}}}
+}

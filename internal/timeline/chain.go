@@ -1,0 +1,208 @@
+package timeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"espresso/internal/cost"
+	"espresso/internal/strategy"
+)
+
+// chain interprets a compression option for tensor idx into the sequence
+// of resource jobs it induces, tracking how the payload evolves:
+//
+//   - perGPU: the fraction of the tensor each active GPU holds/processes;
+//   - lanes: how many GPUs per machine actively hold data (k after a
+//     reduce-scatter or alltoall, 1 after a reduce or gather) — the
+//     machine's NIC carries lanes x the per-GPU payload during
+//     inter-machine steps, and the shared host pool serves lanes x the
+//     per-GPU work during CPU compression;
+//   - copies: how many same-region compressed payloads are in flight
+//     (an indivisible allgather multiplies copies; decompression folds
+//     them back into one dense region).
+func (e *Engine) chain(idx int, opt strategy.Option) ([]jobSpec, error) {
+	return e.chainInto(idx, opt, nil)
+}
+
+// chainInto is chain appending into a reusable slice.
+func (e *Engine) chainInto(idx int, opt strategy.Option, jobs []jobSpec) ([]jobSpec, error) {
+	if err := strategy.Check(opt, e.C); err != nil {
+		return nil, fmt.Errorf("tensor %d: %w", idx, err)
+	}
+	S := e.M.Tensors[idx].Bytes()
+	k := e.C.GPUsPerMachine
+	N := e.C.Machines
+
+	perGPU := 1.0
+	lanes := k
+	copies := 1
+
+	add := func(res Resource, dur time.Duration, step int) {
+		jobs = append(jobs, jobSpec{res: res, dur: dur, step: step})
+	}
+
+	dense := func() int64 { return int64(perGPU * float64(S)) }
+
+	for si, st := range opt.Steps {
+		switch st.Act {
+		case strategy.Comp:
+			d := dense()
+			if e.ZeroCompression {
+				add(ResGPU, 0, si)
+			} else if st.Dev == cost.CPU {
+				add(ResStaging, e.Cost.StagingTime(d), si)
+				add(ResCPU, e.Cost.CompressTime(cost.CPU, d*int64(lanes)), si)
+			} else {
+				add(ResGPU, e.Cost.CompressTime(cost.GPU, d), si)
+			}
+			copies = 1
+
+		case strategy.Decomp:
+			d := dense()
+			if e.ZeroCompression {
+				add(ResGPU, 0, si)
+			} else if st.Dev == cost.CPU {
+				add(ResCPU, e.Cost.DecompressTime(cost.CPU, d*int64(lanes), copies), si)
+				add(ResStaging, e.Cost.StagingTime(d), si)
+			} else {
+				add(ResGPU, e.Cost.DecompressTime(cost.GPU, d, copies), si)
+			}
+			copies = 1
+
+		case strategy.Comm:
+			var n int
+			var link cost.Link
+			var res Resource
+			interMult := int64(1)
+			switch st.Scope {
+			case strategy.Intra:
+				n, link, res = k, e.Cost.Intra, ResIntra
+			case strategy.Inter:
+				n, link, res = N, e.Cost.Inter, ResInter
+				interMult = int64(lanes)
+			case strategy.Flat:
+				n, link = N*k, e.Cost.Flat
+				if N > 1 {
+					res = ResInter
+				} else {
+					res = ResIntra
+				}
+			}
+			d := dense()
+			var dur time.Duration
+			switch st.Routine {
+			case strategy.Allreduce:
+				dur = link.Allreduce(n, d*interMult)
+
+			case strategy.ReduceScatter:
+				dur = link.ReduceScatter(n, d*interMult)
+				perGPU /= float64(n)
+
+			case strategy.Allgather:
+				if st.Compressed {
+					contrib := e.Cost.WireBytes(d) * int64(copies) * interMult
+					dur = link.Allgather(n, contrib)
+					if st.Second {
+						perGPU *= float64(n) // gathering distinct shards
+					} else {
+						copies *= n // gathering same-region payloads
+					}
+				} else {
+					dur = link.Allgather(n, d*interMult)
+					perGPU *= float64(n)
+				}
+				if st.Scope == strategy.Intra && st.Second {
+					lanes = k
+				}
+
+			case strategy.Alltoall:
+				contrib := e.Cost.WireBytes(d) * int64(copies) * interMult
+				dur = link.Alltoall(n, contrib)
+				perGPU /= float64(n)
+				copies = n
+
+			case strategy.Reduce:
+				dur = link.Reduce(n, d*interMult)
+				if st.Scope == strategy.Intra {
+					lanes = 1
+				}
+
+			case strategy.Broadcast:
+				if st.Compressed {
+					contrib := e.Cost.WireBytes(d) * int64(copies) * interMult
+					dur = link.Broadcast(n, contrib)
+				} else {
+					dur = link.Broadcast(n, d*interMult)
+				}
+				if st.Scope == strategy.Intra {
+					lanes = k
+				}
+
+			case strategy.Gather:
+				contrib := e.Cost.WireBytes(d) * int64(copies) * interMult
+				dur = link.Gather(n, contrib)
+				copies *= n
+				if st.Scope == strategy.Intra {
+					lanes = 1
+				}
+
+			default:
+				return nil, fmt.Errorf("tensor %d step %d: unhandled routine %v", idx, si, st.Routine)
+			}
+			add(res, dur, si)
+		}
+	}
+	return jobs, nil
+}
+
+// ChainKey returns a canonical string of the job chain an option induces
+// for tensor idx, with durations quantized to the microsecond — chains
+// that agree at that granularity are indistinguishable to any decision
+// the scheduler makes at DDL timescales.
+func (e *Engine) ChainKey(idx int, opt strategy.Option) (string, error) {
+	jobs, err := e.chain(idx, opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "%d:%d;", j.res, j.dur.Round(time.Microsecond))
+	}
+	return b.String(), nil
+}
+
+// CommTime sums the pure communication time of an option for a tensor of
+// the given index — the tau_comm of §3 — with no queueing or overlap.
+func (e *Engine) CommTime(idx int, opt strategy.Option) (time.Duration, error) {
+	jobs, err := e.chain(idx, opt)
+	if err != nil {
+		return 0, err
+	}
+	var d time.Duration
+	for _, j := range jobs {
+		if j.res == ResIntra || j.res == ResInter {
+			d += j.dur
+		}
+	}
+	return d, nil
+}
+
+// CompTime sums the pure compression time (compression, decompression,
+// staging) of an option — the tau_comp of §3.
+func (e *Engine) CompTime(idx int, opt strategy.Option) (time.Duration, error) {
+	jobs, err := e.chain(idx, opt)
+	if err != nil {
+		return 0, err
+	}
+	var d time.Duration
+	for _, j := range jobs {
+		switch j.res {
+		case ResCPU, ResStaging:
+			d += j.dur
+		case ResGPU:
+			d += j.dur // GPU compression jobs; backward kernels never appear here
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,389 @@
+// Package timeline derives the training timeline of a DDL iteration under
+// a compression strategy: the per-tensor backward computation,
+// compression, staging, and communication operations, their placement on
+// shared resources, and the resulting iteration time F(S) (§4.3–4.4).
+//
+// The engine simulates one representative GPU lane plus the shared
+// per-machine resources: the GPU compute stream (backward kernels and GPU
+// compression contend there), the host compression pool, the PCIe staging
+// link, the intra-machine interconnect, and the machine NIC. Resources
+// serve ready work in tensor-priority order without idling, the way
+// WFBP frameworks with priority scheduling behave.
+package timeline
+
+import (
+	"fmt"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+	"espresso/internal/sim"
+	"espresso/internal/strategy"
+)
+
+// Resource identifies a shared resource lane in the timeline.
+type Resource uint8
+
+const (
+	// ResGPU is the representative GPU's compute stream.
+	ResGPU Resource = iota
+	// ResCPU is the machine's host compression pool.
+	ResCPU
+	// ResStaging is the GPU<->host PCIe staging link.
+	ResStaging
+	// ResIntra is the intra-machine interconnect.
+	ResIntra
+	// ResInter is the machine's NIC.
+	ResInter
+	numResources
+)
+
+func (r Resource) String() string {
+	switch r {
+	case ResGPU:
+		return "gpu"
+	case ResCPU:
+		return "cpu"
+	case ResStaging:
+		return "pcie"
+	case ResIntra:
+		return "intra"
+	case ResInter:
+		return "inter"
+	default:
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+}
+
+// Op is one executed operation in a derived timeline.
+type Op struct {
+	// Tensor is the tensor index in backward order; Step is the option
+	// step index, or -1 for the backward computation itself.
+	Tensor int
+	Step   int
+	Res    Resource
+	Span   sim.Span
+}
+
+// Result is a derived timeline.
+type Result struct {
+	// Makespan is the time from the start of backward propagation until
+	// the last tensor finishes synchronization.
+	Makespan time.Duration
+	// Iter is the iteration time: forward pass plus Makespan.
+	Iter time.Duration
+	// Ops lists every operation, ordered by completion.
+	Ops []Op
+	// ResBusy is the total service time per resource.
+	ResBusy [numResources]time.Duration
+}
+
+// CommOps returns the communication operations on res in start order
+// (single-server resources complete in start order).
+func (r *Result) CommOps(res Resource) []Op {
+	var ops []Op
+	for _, op := range r.Ops {
+		if op.Res == res && op.Step >= 0 {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// BottleneckComm returns the network resource with the most service time
+// — the "communication timeline" of the paper's figures. Hierarchical
+// jobs are usually NIC-bound; single-machine jobs are interconnect-bound.
+func (r *Result) BottleneckComm() Resource {
+	if r.ResBusy[ResInter] >= r.ResBusy[ResIntra] {
+		return ResInter
+	}
+	return ResIntra
+}
+
+// TensorsBeforeBubbles implements the detection step of Property #1: a
+// tensor is "communicated before a bubble" when its communication on the
+// bottleneck network resource is followed by an idle gap because the next
+// tensor was not ready — shrinking this tensor's communication would only
+// widen the gap, never shift later communications earlier.
+func (r *Result) TensorsBeforeBubbles() map[int]bool {
+	out := make(map[int]bool)
+	ops := r.CommOps(r.BottleneckComm())
+	for i := 0; i+1 < len(ops); i++ {
+		// The gap is a bubble only if the successor was genuinely not
+		// ready (rather than scheduled late).
+		if ops[i+1].Span.Start > ops[i].Span.End && ops[i+1].Span.Ready > ops[i].Span.End {
+			out[ops[i].Tensor] = true
+		}
+	}
+	return out
+}
+
+// Gantt renders a human-readable timeline (for cmd/espresso-sim and the
+// didactic examples).
+func (r *Result) Gantt() string {
+	out := ""
+	for _, op := range r.Ops {
+		kind := "backward"
+		if op.Step >= 0 {
+			kind = fmt.Sprintf("step%-2d", op.Step)
+		}
+		out += fmt.Sprintf("%-6s T%-3d %s  [%8.3fms — %8.3fms]\n",
+			op.Res, op.Tensor, kind,
+			float64(op.Span.Start)/1e6, float64(op.Span.End)/1e6)
+	}
+	return out
+}
+
+// Engine evaluates strategies for one (model, cluster, GC) configuration.
+// It is not safe for concurrent use; create one engine per goroutine.
+type Engine struct {
+	M    *model.Model
+	C    *cluster.Cluster
+	Cost *cost.Models
+
+	// ZeroCompression makes every compression, decompression, and
+	// staging operation free — the Upper Bound configuration of §5.1.
+	ZeroCompression bool
+
+	// RecordOps controls whether Evaluate keeps per-op spans. The
+	// decision algorithm's inner loop disables it.
+	RecordOps bool
+
+	// Reused scratch state; Engine is therefore not concurrency-safe.
+	chains    [][]jobSpec
+	queues    [numResources][]leanJob
+	busyUntil [numResources]time.Duration
+	cur       [numResources]leanJob
+}
+
+// New builds an engine. The cost models must match the cluster.
+func New(m *model.Model, c *cluster.Cluster, cm *cost.Models) *Engine {
+	return &Engine{M: m, C: c, Cost: cm, RecordOps: true}
+}
+
+// prio orders jobs on shared resources: all work of tensor i precedes
+// work of tensor j>i, and within a tensor the backward kernel precedes
+// pipeline steps. stepSlot 0 is backward, 1+s is option step s.
+func prio(tensor, stepSlot int) int64 { return int64(tensor)<<8 | int64(stepSlot) }
+
+// jobSpec is one precomputed unit of work in a tensor's pipeline.
+type jobSpec struct {
+	res  Resource
+	dur  time.Duration
+	step int // option step index (several jobs may share a step)
+}
+
+// Evaluate derives the timeline of one iteration under s.
+//
+// The scheduler is a lean discrete-event loop specialized to this model:
+// five single-server resources, each serving ready jobs in priority
+// order without idling (work-conserving, non-preemptive). The loop
+// allocates almost nothing, because the decision algorithm calls it tens
+// of thousands of times per strategy selection.
+func (e *Engine) Evaluate(s *strategy.Strategy) (*Result, error) {
+	if err := e.Prepare(s); err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// Prepare loads a strategy, computing every tensor's pipeline. After
+// Prepare, individual tensors can be re-assigned with SetOption and the
+// loaded configuration evaluated with Run — the incremental pattern of
+// GetBestOption (Algorithm 1), which swaps one tensor's option at a time.
+func (e *Engine) Prepare(s *strategy.Strategy) error {
+	if len(s.PerTensor) != len(e.M.Tensors) {
+		return fmt.Errorf("timeline: strategy covers %d tensors, model has %d",
+			len(s.PerTensor), len(e.M.Tensors))
+	}
+	total := len(e.M.Tensors)
+	if cap(e.chains) < total {
+		chains := make([][]jobSpec, total)
+		copy(chains, e.chains)
+		e.chains = chains
+	}
+	e.chains = e.chains[:total]
+	for i, opt := range s.PerTensor {
+		if err := e.SetOption(i, opt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetOption replaces tensor i's pipeline with opt. Prepare must have run.
+func (e *Engine) SetOption(i int, opt strategy.Option) error {
+	chain, err := e.chainInto(i, opt, e.chains[i][:0])
+	if err != nil {
+		return err
+	}
+	e.chains[i] = chain
+	return nil
+}
+
+// Run evaluates the currently loaded configuration.
+func (e *Engine) Run() (*Result, error) {
+	total := len(e.M.Tensors)
+
+	res := &Result{}
+	for r := range e.queues {
+		e.queues[r] = e.queues[r][:0]
+		e.busyUntil[r] = -1
+		e.cur[r] = leanJob{}
+	}
+
+	// Backward kernels for every tensor are ready at t=0; GPU priority
+	// order runs them in index order, with GPU compression of earlier
+	// tensors interleaving ahead of later kernels (Reason #1).
+	for i := range e.M.Tensors {
+		e.push(ResGPU, leanJob{prio: prio(i, 0), tensor: int32(i), job: -1, ready: 0,
+			dur: e.M.Tensors[i].Compute})
+	}
+
+	var now, finish time.Duration
+	done := 0
+	dispatch := func() {
+		for r := range e.queues {
+			if e.busyUntil[r] < 0 && len(e.queues[r]) > 0 {
+				j := e.pop(Resource(r))
+				j.start = now
+				e.cur[r] = j
+				e.busyUntil[r] = now + j.dur
+			}
+		}
+	}
+	dispatch()
+	for {
+		// Find the earliest completion.
+		next := time.Duration(-1)
+		for r := range e.busyUntil {
+			if e.busyUntil[r] >= 0 && (next < 0 || e.busyUntil[r] < next) {
+				next = e.busyUntil[r]
+			}
+		}
+		if next < 0 {
+			break
+		}
+		now = next
+		// Complete everything finishing at this instant before
+		// dispatching, so same-instant arrivals compete on priority.
+		for r := range e.busyUntil {
+			if e.busyUntil[r] != now {
+				continue
+			}
+			j := e.cur[r]
+			e.busyUntil[r] = -1
+			if e.RecordOps {
+				res.Ops = append(res.Ops, Op{
+					Tensor: int(j.tensor), Step: jobStep(j),
+					Res:  Resource(r),
+					Span: sim.Span{Ready: j.ready, Start: j.start, End: now},
+				})
+			}
+			res.ResBusy[r] += j.dur
+			chain := e.chains[j.tensor]
+			nextJob := int(j.job) + 1
+			if nextJob >= len(chain) {
+				done++
+				if now > finish {
+					finish = now
+				}
+				continue
+			}
+			spec := chain[nextJob]
+			e.push(spec.res, leanJob{
+				prio: prio(int(j.tensor), 1+spec.step), tensor: j.tensor,
+				job: int32(nextJob), step: int32(spec.step), ready: now, dur: spec.dur,
+			})
+		}
+		dispatch()
+	}
+	if done != total {
+		return nil, fmt.Errorf("timeline: %d of %d tensors completed (pipeline deadlock)", done, total)
+	}
+	res.Makespan = finish
+	res.Iter = e.M.Forward + finish
+	return res, nil
+}
+
+// leanJob is an in-flight or queued unit of work.
+type leanJob struct {
+	prio   int64
+	tensor int32
+	job    int32 // index into the tensor's chain; -1 for the backward kernel
+	step   int32 // option step for recording
+	ready  time.Duration
+	start  time.Duration
+	dur    time.Duration
+}
+
+func jobStep(j leanJob) int {
+	if j.job < 0 {
+		return -1
+	}
+	return int(j.step)
+}
+
+// push adds a job to a resource's ready heap.
+func (e *Engine) push(r Resource, j leanJob) {
+	q := append(e.queues[r], j)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].prio <= q[i].prio {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	e.queues[r] = q
+}
+
+// pop removes the lowest-priority-value ready job.
+func (e *Engine) pop(r Resource) leanJob {
+	q := e.queues[r]
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < n && q[l].prio < q[small].prio {
+			small = l
+		}
+		if rr < n && q[rr].prio < q[small].prio {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	e.queues[r] = q
+	return top
+}
+
+// IterTime is Evaluate without op recording, for the decision loop.
+func (e *Engine) IterTime(s *strategy.Strategy) (time.Duration, error) {
+	saved := e.RecordOps
+	e.RecordOps = false
+	r, err := e.Evaluate(s)
+	e.RecordOps = saved
+	if err != nil {
+		return 0, err
+	}
+	return r.Iter, nil
+}
+
+// MustIterTime panics on error; for callers holding validated strategies.
+func (e *Engine) MustIterTime(s *strategy.Strategy) time.Duration {
+	d, err := e.IterTime(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

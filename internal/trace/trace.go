@@ -1,0 +1,155 @@
+// Package trace implements Espresso's offline profiling stage (§4.3): it
+// collects execution traces of training iterations to model per-tensor
+// backward computation times (100-iteration averages), measures the
+// actual compression/decompression wall-clock of this library's
+// algorithms across tensor sizes, and builds the tensor-size census of
+// Figure 11 that Algorithm 2's grouping exploits.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"espresso/internal/compress"
+	"espresso/internal/model"
+)
+
+// TensorStat is the per-tensor outcome of compute-time trace collection.
+type TensorStat struct {
+	Name  string
+	Elems int
+	// Mean and StdDev summarize the per-iteration backward computation
+	// times observed across the trace.
+	Mean   time.Duration
+	StdDev time.Duration
+}
+
+// RelStdDev is the normalized standard deviation; §4.3 observes it stays
+// below 5% across runs.
+func (s TensorStat) RelStdDev() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return float64(s.StdDev) / float64(s.Mean)
+}
+
+// CollectCompute simulates trace collection over iters iterations of the
+// model's backward pass: each iteration observes every tensor's
+// computation time with multiplicative measurement noise of magnitude
+// jitter (e.g. 0.03 for ±3%), and the stats average them the way
+// Espresso's profiler does.
+func CollectCompute(m *model.Model, iters int, jitter float64, seed int64) []TensorStat {
+	rng := rand.New(rand.NewSource(seed))
+	stats := make([]TensorStat, len(m.Tensors))
+	sums := make([]float64, len(m.Tensors))
+	sqs := make([]float64, len(m.Tensors))
+	for it := 0; it < iters; it++ {
+		for i, tensor := range m.Tensors {
+			obs := float64(tensor.Compute) * (1 + jitter*(2*rng.Float64()-1))
+			sums[i] += obs
+			sqs[i] += obs * obs
+		}
+	}
+	for i, tensor := range m.Tensors {
+		mean := sums[i] / float64(iters)
+		variance := sqs[i]/float64(iters) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		stats[i] = TensorStat{
+			Name:   tensor.Name,
+			Elems:  tensor.Elems,
+			Mean:   time.Duration(mean),
+			StdDev: time.Duration(math.Sqrt(variance)),
+		}
+	}
+	return stats
+}
+
+// ModelFromStats rebuilds a model description from traced statistics —
+// the model-information input file of Figure 6.
+func ModelFromStats(name string, stats []TensorStat, forward time.Duration, batch int, unit string) *model.Model {
+	m := &model.Model{Name: name, Forward: forward, Batch: batch, BatchUnit: unit}
+	for _, s := range stats {
+		m.Tensors = append(m.Tensors, model.Tensor{Name: s.Name, Elems: s.Elems, Compute: s.Mean})
+	}
+	return m
+}
+
+// SizeCount is one bar of Figure 11: how many tensors share a size.
+type SizeCount struct {
+	Elems int
+	Count int
+}
+
+// SizeCensus counts tensors per distinct size, largest first. Real DNNs
+// have many tensors sharing few distinct sizes, which is why Algorithm
+// 2's grouped search is tractable (Table 6).
+func SizeCensus(m *model.Model) []SizeCount {
+	byN := map[int]int{}
+	for _, t := range m.Tensors {
+		byN[t.Elems]++
+	}
+	out := make([]SizeCount, 0, len(byN))
+	for n, c := range byN {
+		out = append(out, SizeCount{Elems: n, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Elems > out[b].Elems })
+	return out
+}
+
+// CompressionSample is one measured point of a compression profile.
+type CompressionSample struct {
+	Elems      int
+	Compress   time.Duration // mean wall-clock of one compression
+	Decompress time.Duration
+	WireBytes  int
+}
+
+// ProfileCompression measures the real wall-clock cost of this library's
+// compression implementation on the current host: for each size it runs
+// reps compression+decompression rounds on random data and averages, the
+// procedure §4.3 prescribes (the paper uses 100 repetitions).
+func ProfileCompression(spec compress.Spec, sizes []int, reps int) ([]CompressionSample, error) {
+	c, err := compress.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if reps <= 0 {
+		return nil, fmt.Errorf("trace: reps must be positive, got %d", reps)
+	}
+	rng := rand.New(rand.NewSource(42))
+	out := make([]CompressionSample, 0, len(sizes))
+	for _, n := range sizes {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		dense := make([]float32, n)
+		var compTotal, decompTotal time.Duration
+		var wire int
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			p := c.Compress(x, uint64(r))
+			compTotal += time.Since(start)
+			start = time.Now()
+			if err := c.Decompress(p, dense); err != nil {
+				return nil, err
+			}
+			decompTotal += time.Since(start)
+			if r == 0 {
+				wire = len(compress.Encode(p))
+			}
+		}
+		out = append(out, CompressionSample{
+			Elems:      n,
+			Compress:   compTotal / time.Duration(reps),
+			Decompress: decompTotal / time.Duration(reps),
+			WireBytes:  wire,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"espresso/internal/compress"
+	"espresso/internal/model"
+)
+
+func TestCollectComputeAveragesOutNoise(t *testing.T) {
+	m := model.BERTBase()
+	stats := CollectCompute(m, 100, 0.05, 1)
+	if len(stats) != len(m.Tensors) {
+		t.Fatalf("%d stats for %d tensors", len(stats), len(m.Tensors))
+	}
+	for i, s := range stats {
+		truth := m.Tensors[i].Compute
+		diff := float64(s.Mean-truth) / float64(truth)
+		if diff < 0 {
+			diff = -diff
+		}
+		// 100-iteration averaging of ±5% noise lands within ~2%.
+		if diff > 0.02 {
+			t.Errorf("%s: mean %v vs truth %v (%.1f%% off)", s.Name, s.Mean, truth, 100*diff)
+		}
+		// §4.3: normalized standard deviation below 5%.
+		if s.RelStdDev() > 0.05 {
+			t.Errorf("%s: rel stddev %.3f above 5%%", s.Name, s.RelStdDev())
+		}
+	}
+}
+
+func TestModelFromStatsRoundTrip(t *testing.T) {
+	m := model.LSTM()
+	stats := CollectCompute(m, 100, 0.02, 2)
+	rebuilt := ModelFromStats(m.Name, stats, m.Forward, m.Batch, m.BatchUnit)
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.NumTensors() != m.NumTensors() || rebuilt.TotalElems() != m.TotalElems() {
+		t.Fatal("rebuilt model structure differs")
+	}
+	// Reconstructed backward time within 2% of the original.
+	orig, got := m.Backward(), rebuilt.Backward()
+	diff := float64(got-orig) / float64(orig)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02 {
+		t.Fatalf("backward %v vs %v", got, orig)
+	}
+}
+
+// Figure 11's premise: BERT-base's many tensors share few distinct sizes.
+func TestSizeCensusBERT(t *testing.T) {
+	m := model.BERTBase()
+	census := SizeCensus(m)
+	if len(census) >= m.NumTensors()/4 {
+		t.Fatalf("%d distinct sizes across %d tensors — expected heavy sharing", len(census), m.NumTensors())
+	}
+	total := 0
+	maxCount := 0
+	for i, sc := range census {
+		total += sc.Count
+		if sc.Count > maxCount {
+			maxCount = sc.Count
+		}
+		if i > 0 && sc.Elems >= census[i-1].Elems {
+			t.Fatal("census not sorted by descending size")
+		}
+	}
+	if total != m.NumTensors() {
+		t.Fatalf("census covers %d of %d tensors", total, m.NumTensors())
+	}
+	// The 768-element LayerNorm/bias size recurs across all 12 layers.
+	if maxCount < 24 {
+		t.Fatalf("largest size class has %d tensors, expected heavy repetition", maxCount)
+	}
+}
+
+func TestProfileCompressionMeasuresRealWork(t *testing.T) {
+	samples, err := ProfileCompression(compress.Spec{ID: compress.EFSignSGD}, []int{1 << 10, 1 << 16}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("%d samples", len(samples))
+	}
+	for _, s := range samples {
+		if s.Compress <= 0 {
+			t.Errorf("n=%d: non-positive compression time", s.Elems)
+		}
+		if s.WireBytes <= 0 || s.WireBytes >= 4*s.Elems {
+			t.Errorf("n=%d: wire bytes %d not compressive", s.Elems, s.WireBytes)
+		}
+	}
+	// Bigger tensors take longer.
+	if samples[1].Compress <= samples[0].Compress {
+		t.Errorf("64K-elem compression (%v) not slower than 1K (%v)", samples[1].Compress, samples[0].Compress)
+	}
+	if _, err := ProfileCompression(compress.Spec{ID: compress.EFSignSGD}, []int{8}, 0); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	if _, err := ProfileCompression(compress.Spec{ID: compress.DGC}, []int{8}, 1); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestCollectComputeZeroJitterIsExact(t *testing.T) {
+	m := model.VGG16()
+	stats := CollectCompute(m, 10, 0, 3)
+	for i, s := range stats {
+		if s.Mean != m.Tensors[i].Compute {
+			t.Fatalf("%s: %v != %v", s.Name, s.Mean, m.Tensors[i].Compute)
+		}
+		if s.StdDev > time.Microsecond {
+			t.Fatalf("%s: stddev %v with zero jitter", s.Name, s.StdDev)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Logistic is l2-regularization-free logistic regression with weight and
+// bias as two separate gradient tensors.
+type Logistic struct {
+	W []float32
+	B []float32 // length 1
+}
+
+// NewLogistic builds a zero-initialized logistic model for dim features.
+func NewLogistic(dim int) *Logistic {
+	return &Logistic{W: make([]float32, dim), B: make([]float32, 1)}
+}
+
+func (m *Logistic) Params() []Tensor {
+	return []Tensor{{Name: "w", Data: m.W}, {Name: "b", Data: m.B}}
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func (m *Logistic) predict(x []float32) float64 {
+	z := float64(m.B[0])
+	for j, v := range x {
+		z += float64(m.W[j]) * float64(v)
+	}
+	return sigmoid(z)
+}
+
+func (m *Logistic) Gradients(x [][]float32, y []float32) [][]float32 {
+	gw := make([]float32, len(m.W))
+	gb := make([]float32, 1)
+	inv := 1 / float32(len(x))
+	for i := range x {
+		err := float32(m.predict(x[i])) - y[i]
+		for j, v := range x[i] {
+			gw[j] += err * v * inv
+		}
+		gb[0] += err * inv
+	}
+	return [][]float32{gw, gb}
+}
+
+func (m *Logistic) Loss(ds *Dataset) float64 {
+	var sum float64
+	for i := range ds.X {
+		p := m.predict(ds.X[i])
+		p = math.Min(math.Max(p, 1e-7), 1-1e-7)
+		if ds.Y[i] > 0.5 {
+			sum -= math.Log(p)
+		} else {
+			sum -= math.Log(1 - p)
+		}
+	}
+	return sum / float64(ds.Len())
+}
+
+func (m *Logistic) Accuracy(ds *Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		pred := float32(0)
+		if m.predict(ds.X[i]) > 0.5 {
+			pred = 1
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// MLP is a one-hidden-layer perceptron with tanh activation and a
+// sigmoid output, exposing four gradient tensors (W1, b1, W2, b2) so
+// multi-tensor strategies are exercised end to end.
+type MLP struct {
+	In, Hidden int
+	W1         []float32 // Hidden x In, row-major
+	B1         []float32
+	W2         []float32 // Hidden
+	B2         []float32 // length 1
+}
+
+// NewMLP builds an MLP with small random initial weights.
+func NewMLP(in, hidden int, seed int64) *MLP {
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{
+		In: in, Hidden: hidden,
+		W1: make([]float32, hidden*in),
+		B1: make([]float32, hidden),
+		W2: make([]float32, hidden),
+		B2: make([]float32, 1),
+	}
+	for i := range m.W1 {
+		m.W1[i] = float32(rng.NormFloat64()) * 0.5
+	}
+	for i := range m.W2 {
+		m.W2[i] = float32(rng.NormFloat64()) * 0.5
+	}
+	return m
+}
+
+func (m *MLP) Params() []Tensor {
+	return []Tensor{
+		{Name: "w1", Data: m.W1},
+		{Name: "b1", Data: m.B1},
+		{Name: "w2", Data: m.W2},
+		{Name: "b2", Data: m.B2},
+	}
+}
+
+// forward returns the hidden activations and the output probability.
+func (m *MLP) forward(x []float32) ([]float64, float64) {
+	h := make([]float64, m.Hidden)
+	for i := 0; i < m.Hidden; i++ {
+		z := float64(m.B1[i])
+		for j := 0; j < m.In; j++ {
+			z += float64(m.W1[i*m.In+j]) * float64(x[j])
+		}
+		h[i] = math.Tanh(z)
+	}
+	z := float64(m.B2[0])
+	for i := 0; i < m.Hidden; i++ {
+		z += float64(m.W2[i]) * h[i]
+	}
+	return h, sigmoid(z)
+}
+
+func (m *MLP) Gradients(x [][]float32, y []float32) [][]float32 {
+	gw1 := make([]float32, len(m.W1))
+	gb1 := make([]float32, len(m.B1))
+	gw2 := make([]float32, len(m.W2))
+	gb2 := make([]float32, 1)
+	inv := 1 / float64(len(x))
+	for i := range x {
+		h, p := m.forward(x[i])
+		dOut := (p - float64(y[i])) * inv
+		gb2[0] += float32(dOut)
+		for k := 0; k < m.Hidden; k++ {
+			gw2[k] += float32(dOut * h[k])
+			dh := dOut * float64(m.W2[k]) * (1 - h[k]*h[k])
+			gb1[k] += float32(dh)
+			for j := 0; j < m.In; j++ {
+				gw1[k*m.In+j] += float32(dh * float64(x[i][j]))
+			}
+		}
+	}
+	return [][]float32{gw1, gb1, gw2, gb2}
+}
+
+func (m *MLP) Loss(ds *Dataset) float64 {
+	var sum float64
+	for i := range ds.X {
+		_, p := m.forward(ds.X[i])
+		p = math.Min(math.Max(p, 1e-7), 1-1e-7)
+		if ds.Y[i] > 0.5 {
+			sum -= math.Log(p)
+		} else {
+			sum -= math.Log(1 - p)
+		}
+	}
+	return sum / float64(ds.Len())
+}
+
+func (m *MLP) Accuracy(ds *Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		_, p := m.forward(ds.X[i])
+		pred := float32(0)
+		if p > 0.5 {
+			pred = 1
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

@@ -1,0 +1,184 @@
+package train
+
+import (
+	"testing"
+
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/strategy"
+)
+
+func smallCluster() *cluster.Cluster {
+	c := cluster.NVLinkTestbed(2)
+	c.GPUsPerMachine = 2
+	return c
+}
+
+func logisticConfig(spec compress.Spec, opt strategy.Option) Config {
+	return Config{
+		Cluster: smallCluster(),
+		Spec:    spec,
+		Option:  opt,
+		LR:      0.5,
+		Batch:   16,
+		Iters:   150,
+		Seed:    11,
+	}
+}
+
+func compressedOption(c *cluster.Cluster) strategy.Option {
+	return strategy.Option{Hier: true, Steps: []strategy.Step{
+		{Act: strategy.Comm, Routine: strategy.ReduceScatter, Scope: strategy.Intra},
+		{Act: strategy.Comp},
+		{Act: strategy.Comm, Routine: strategy.Allgather, Scope: strategy.Inter, Compressed: true},
+		{Act: strategy.Comm, Routine: strategy.Allgather, Scope: strategy.Intra, Compressed: true, Second: true},
+		{Act: strategy.Decomp},
+	}}
+}
+
+func TestFP32LogisticConverges(t *testing.T) {
+	ds := SyntheticLinear(2000, 10, 0.02, 1)
+	m := NewLogistic(10)
+	cfg := logisticConfig(compress.Spec{ID: compress.FP32}, strategy.NoCompression(smallCluster()))
+	hist, err := Run(m, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := hist.Final().Accuracy; acc < 0.93 {
+		t.Fatalf("FP32 accuracy = %v, want >= 0.93", acc)
+	}
+	// Loss decreases over training.
+	if hist.Points[0].Loss <= hist.Final().Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", hist.Points[0].Loss, hist.Final().Loss)
+	}
+}
+
+// The §5.4 claim: compressed training with error feedback matches FP32
+// accuracy. Exercised for each of the paper's three algorithms.
+func TestCompressedTrainingMatchesFP32(t *testing.T) {
+	ds := SyntheticLinear(2000, 10, 0.02, 2)
+	fp32 := NewLogistic(10)
+	base, err := Run(fp32, ds, logisticConfig(compress.Spec{ID: compress.FP32}, strategy.NoCompression(smallCluster())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAcc := base.Final().Accuracy
+
+	for _, spec := range []compress.Spec{
+		{ID: compress.RandomK, Ratio: 0.25},
+		{ID: compress.DGC, Ratio: 0.25},
+		{ID: compress.EFSignSGD},
+	} {
+		m := NewLogistic(10)
+		cfg := logisticConfig(spec, compressedOption(smallCluster()))
+		hist, err := Run(m, ds, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		acc := hist.Final().Accuracy
+		if acc < baseAcc-0.03 {
+			t.Errorf("%v: accuracy %v vs FP32 %v — GC with EF should preserve accuracy", spec, acc, baseAcc)
+		}
+	}
+}
+
+// Ablation: aggressive sparsification without error feedback loses
+// accuracy relative to the same algorithm with EF.
+func TestErrorFeedbackMattersForConvergence(t *testing.T) {
+	ds := SyntheticLinear(2000, 20, 0.02, 3)
+	spec := compress.Spec{ID: compress.TopK, Ratio: 0.05}
+	opt := compressedOption(smallCluster())
+
+	withEF := NewLogistic(20)
+	histEF, err := Run(withEF, ds, logisticConfig(spec, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noEF := NewLogistic(20)
+	cfg := logisticConfig(spec, opt)
+	cfg.DisableErrorFeedback = true
+	histNo, err := Run(noEF, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if histEF.Final().Loss >= histNo.Final().Loss {
+		t.Fatalf("EF loss %v not better than no-EF loss %v", histEF.Final().Loss, histNo.Final().Loss)
+	}
+}
+
+func TestMLPSolvesCircles(t *testing.T) {
+	ds := Circles(1200, 4)
+	m := NewMLP(2, 16, 5)
+	cfg := Config{
+		Cluster: smallCluster(),
+		Spec:    compress.Spec{ID: compress.EFSignSGD},
+		Option:  compressedOption(smallCluster()),
+		LR:      0.8,
+		Batch:   32,
+		Iters:   400,
+		Seed:    6,
+	}
+	hist, err := Run(m, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := hist.Final().Accuracy; acc < 0.9 {
+		t.Fatalf("MLP accuracy on circles = %v, want >= 0.9", acc)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	ds := SyntheticLinear(100, 4, 0, 7)
+	m := NewLogistic(4)
+	bad := logisticConfig(compress.Spec{ID: compress.FP32}, strategy.NoCompression(smallCluster()))
+	bad.LR = 0
+	if _, err := Run(m, ds, bad); err == nil {
+		t.Fatal("zero LR accepted")
+	}
+	bad = logisticConfig(compress.Spec{ID: compress.DGC, Ratio: 0}, strategy.NoCompression(smallCluster()))
+	if _, err := Run(m, ds, bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestSpeedupEstimate(t *testing.T) {
+	if s := SpeedupEstimate(150, 100); s < 1.49 || s > 1.51 {
+		t.Fatalf("speedup = %v, want 1.5", s)
+	}
+	if SpeedupEstimate(100, 0) != 0 {
+		t.Fatal("zero denominator not handled")
+	}
+}
+
+// Per-tensor options: training under a mixed strategy selected by the
+// decision algorithm (weights compressed, bias left dense).
+func TestPerTensorOptionsTraining(t *testing.T) {
+	c := smallCluster()
+	ds := SyntheticLinear(1500, 10, 0.02, 31)
+	m := NewLogistic(10)
+	hist, err := Run(m, ds, Config{
+		Cluster: c,
+		Spec:    compress.Spec{ID: compress.TopK, Ratio: 0.25},
+		Options: []strategy.Option{
+			compressedOption(c),       // w: compressed
+			strategy.NoCompression(c), // b: dense
+		},
+		LR: 0.5, Batch: 16, Iters: 150, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := hist.Final().Accuracy; acc < 0.92 {
+		t.Fatalf("mixed-strategy accuracy = %v", acc)
+	}
+
+	// Mismatched option counts are rejected.
+	_, err = Run(NewLogistic(10), ds, Config{
+		Cluster: c, Spec: compress.Spec{ID: compress.FP32},
+		Options: []strategy.Option{strategy.NoCompression(c)},
+		LR:      0.5, Batch: 16, Iters: 5, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("mismatched Options length accepted")
+	}
+}
