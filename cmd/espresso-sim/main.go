@@ -8,10 +8,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"espresso/internal/baselines"
 	"espresso/internal/cluster"
@@ -20,9 +23,28 @@ import (
 	"espresso/internal/cost"
 	"espresso/internal/ddl"
 	"espresso/internal/model"
+	"espresso/internal/netsim"
+	"espresso/internal/obs"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
+
+// jobConfig mirrors the job-description JSON of configs/ (the same shape
+// espresso.Job unmarshals); fields present override the flags.
+type jobConfig struct {
+	Model struct {
+		Preset string `json:"preset"`
+	} `json:"model"`
+	Cluster struct {
+		Preset         string `json:"preset"`
+		Machines       int    `json:"machines"`
+		GPUsPerMachine int    `json:"gpus_per_machine"`
+	} `json:"cluster"`
+	Algorithm struct {
+		Name  string  `json:"name"`
+		Ratio float64 `json:"ratio"`
+	} `json:"algorithm"`
+}
 
 func main() {
 	var (
@@ -36,8 +58,40 @@ func main() {
 		iters    = flag.Int("iters", 2, "iterations to execute on the data plane")
 		scale    = flag.Int("scale", 4096, "elements per simulated tensor on the data plane")
 		gantt    = flag.Bool("gantt", true, "print the derived timeline")
+		jobF     = flag.String("job", "", "job-description JSON (overrides -model/-cluster/-machines/-gpus/-algo/-ratio)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the derived timeline")
+		metrOut  = flag.String("metrics-out", "", "write a metrics-registry JSON file")
 	)
 	flag.Parse()
+
+	if *jobF != "" {
+		data, err := os.ReadFile(*jobF)
+		if err != nil {
+			fatal(err)
+		}
+		var jc jobConfig
+		if err := json.Unmarshal(data, &jc); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *jobF, err))
+		}
+		if jc.Model.Preset != "" {
+			*modelF = jc.Model.Preset
+		}
+		if jc.Cluster.Preset != "" {
+			*clusterF = jc.Cluster.Preset
+		}
+		if jc.Cluster.Machines > 0 {
+			*machines = jc.Cluster.Machines
+		}
+		if jc.Cluster.GPUsPerMachine > 0 {
+			*gpus = jc.Cluster.GPUsPerMachine
+		}
+		if jc.Algorithm.Name != "" {
+			*algo = jc.Algorithm.Name
+		}
+		if jc.Algorithm.Ratio > 0 {
+			*ratio = jc.Algorithm.Ratio
+		}
+	}
 
 	m, err := model.ByName(*modelF)
 	if err != nil {
@@ -63,11 +117,24 @@ func main() {
 		fatal(err)
 	}
 
+	// Telemetry sinks, active when either output flag is set.
+	var (
+		trace   *obs.Trace
+		metrics *obs.Metrics
+	)
+	if *traceOut != "" {
+		trace = obs.NewTrace()
+	}
+	if *traceOut != "" || *metrOut != "" {
+		metrics = obs.NewMetrics()
+	}
+
 	// Pick the strategy.
 	var s *strategy.Strategy
 	switch *system {
 	case "espresso":
 		sel := core.NewSelector(m, c, cm)
+		sel.Obs = metrics
 		var rep *core.Report
 		s, rep, err = sel.Select()
 		if err != nil {
@@ -95,6 +162,21 @@ func main() {
 	}
 	fmt.Printf("predicted iteration time: %v (throughput %.0f %s/s)\n",
 		res.Iter, core.Throughput(m, c, res.Iter), m.BatchUnit)
+	if trace != nil || metrics != nil {
+		if err := eng.Observe(trace, metrics, res, s); err != nil {
+			fatal(err)
+		}
+	}
+	if metrics != nil {
+		// Message-level cross-check of the closed-form inter-machine cost:
+		// a ring allreduce of the full gradient through netsim yields link
+		// utilization the α–β models cannot express.
+		if c.Machines > 1 {
+			nw := netsim.New(c.Machines, 5*time.Microsecond, c.InterBandwidth)
+			nw.RingAllreduce(m.TotalBytes())
+			nw.Observe(trace, metrics, obs.PhaseLink)
+		}
+	}
 
 	// Execute the data plane with scaled-down tensors: per-GPU random
 	// gradients move through the real compression/collective stack.
@@ -102,6 +184,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	x.Metrics = metrics
 	rng := rand.New(rand.NewSource(1))
 	total := c.TotalGPUs()
 	for it := 0; it < *iters; it++ {
@@ -135,6 +218,37 @@ func main() {
 		fmt.Println("\nderived timeline:")
 		fmt.Print(res.Gantt())
 	}
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, trace.WriteChrome); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace (%d spans) to %s — open in ui.perfetto.dev\n", trace.Len(), *traceOut)
+	}
+	if *metrOut != "" {
+		tr := x.Traffic()
+		metrics.Gauge("ddl.traffic.intra.raw_bytes").Set(float64(tr.Intra.RawBytes))
+		metrics.Gauge("ddl.traffic.intra.compressed_bytes").Set(float64(tr.Intra.CompressedBytes))
+		metrics.Gauge("ddl.traffic.inter.raw_bytes").Set(float64(tr.Inter.RawBytes))
+		metrics.Gauge("ddl.traffic.inter.compressed_bytes").Set(float64(tr.Inter.CompressedBytes))
+		if err := writeFile(*metrOut, metrics.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metrOut)
+	}
+}
+
+// writeFile streams one telemetry artifact to path.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

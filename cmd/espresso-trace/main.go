@@ -10,22 +10,26 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"espresso/internal/compress"
 	"espresso/internal/model"
+	"espresso/internal/obs"
 	"espresso/internal/trace"
 )
 
 func main() {
 	var (
-		modelF = flag.String("model", "bert-base", "model preset")
-		algo   = flag.String("algo", "efsignsgd", "GC algorithm to profile")
-		ratio  = flag.Float64("ratio", 0.01, "sparsifier ratio")
-		iters  = flag.Int("iters", 100, "trace iterations (the paper uses 100)")
-		jitter = flag.Float64("jitter", 0.03, "simulated per-iteration measurement noise")
-		reps   = flag.Int("reps", 10, "compression profiling repetitions per size")
+		modelF   = flag.String("model", "bert-base", "model preset")
+		algo     = flag.String("algo", "efsignsgd", "GC algorithm to profile")
+		ratio    = flag.Float64("ratio", 0.01, "sparsifier ratio")
+		iters    = flag.Int("iters", 100, "trace iterations (the paper uses 100)")
+		jitter   = flag.Float64("jitter", 0.03, "simulated per-iteration measurement noise")
+		reps     = flag.Int("reps", 10, "compression profiling repetitions per size")
+		traceOut = flag.String("trace-out", "", "write the averaged backward pass as Chrome trace-event JSON")
+		metrOut  = flag.String("metrics-out", "", "write profiling metrics as JSON")
 	)
 	flag.Parse()
 
@@ -66,6 +70,61 @@ func main() {
 		fmt.Printf("  %10d %14v %14v %12d\n", s.Elems,
 			s.Compress.Round(time.Microsecond), s.Decompress.Round(time.Microsecond), s.WireBytes)
 	}
+
+	if *traceOut != "" {
+		tr := obs.NewTrace()
+		// The averaged backward pass as one GPU track: tensors execute
+		// back to back in backward order at their mean computation times.
+		var clock time.Duration
+		for ti, t := range m.Tensors {
+			tr.Record(obs.Span{
+				Rank: 0, Device: "gpu", Phase: obs.PhaseCompute,
+				Name:  fmt.Sprintf("T%d %s", ti, t.Name),
+				Ready: clock, Start: clock, End: clock + t.Compute,
+				Bytes: 4 * int64(t.Elems),
+			})
+			clock += t.Compute
+		}
+		if err := writeFile(*traceOut, tr.WriteChrome); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote backward-pass trace (%d spans) to %s\n", tr.Len(), *traceOut)
+	}
+	if *metrOut != "" {
+		mx := obs.NewMetrics()
+		mx.Gauge("trace.tensors").Set(float64(len(stats)))
+		mx.Gauge("trace.backward_us").Set(float64(m.Backward().Microseconds()))
+		for _, s := range stats {
+			mx.Histogram("trace.compute_us").Observe(float64(s.Mean.Microseconds()))
+			mx.Histogram("trace.rel_stddev", obs.RatioBuckets...).Observe(s.RelStdDev())
+		}
+		for _, s := range samples {
+			mx.Gauge(fmt.Sprintf("profile.compress_us.%d", s.Elems)).Set(float64(s.Compress.Microseconds()))
+			mx.Gauge(fmt.Sprintf("profile.decompress_us.%d", s.Elems)).Set(float64(s.Decompress.Microseconds()))
+			mx.Gauge(fmt.Sprintf("profile.wire_bytes.%d", s.Elems)).Set(float64(s.WireBytes))
+			if dense := 4 * s.Elems; dense > 0 {
+				mx.Histogram("profile.ratio", obs.RatioBuckets...).
+					Observe(float64(s.WireBytes) / float64(dense))
+			}
+		}
+		if err := writeFile(*metrOut, mx.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote profiling metrics to %s\n", *metrOut)
+	}
+}
+
+// writeFile streams one telemetry artifact to path.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -308,6 +308,22 @@ func report(r *resolved, iter time.Duration) *Report {
 	}
 }
 
+// applyConstraints configures a selector with a job's search-space
+// constraints.
+func applyConstraints(sel *core.Selector, job Job, r *resolved) error {
+	if cons := job.Constraints.toFilters(); len(cons) > 0 {
+		opts := strategy.Filter(strategy.EnumerateGPU(r.c), cons...)
+		if len(opts) == 0 {
+			return errors.New("espresso: constraints eliminate every option")
+		}
+		sel.SetCandidates(opts)
+	}
+	if job.Constraints.ForbidCPU {
+		sel.SetDevices([]cost.Device{cost.GPU})
+	}
+	return nil
+}
+
 // Select runs Espresso's decision algorithm (Algorithm 1 plus CPU
 // offloading) and returns the selected strategy with its predicted
 // performance.
@@ -317,15 +333,8 @@ func Select(job Job) (*Strategy, *Report, error) {
 		return nil, nil, err
 	}
 	sel := core.NewSelector(r.m, r.c, r.cm)
-	if cons := job.Constraints.toFilters(); len(cons) > 0 {
-		opts := strategy.Filter(strategy.EnumerateGPU(r.c), cons...)
-		if len(opts) == 0 {
-			return nil, nil, errors.New("espresso: constraints eliminate every option")
-		}
-		sel.SetCandidates(opts)
-	}
-	if job.Constraints.ForbidCPU {
-		sel.SetDevices([]cost.Device{cost.GPU})
+	if err := applyConstraints(sel, job, r); err != nil {
+		return nil, nil, err
 	}
 	s, rep, err := sel.Select()
 	if err != nil {

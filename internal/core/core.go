@@ -16,6 +16,7 @@ import (
 	"espresso/internal/cluster"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/obs"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -62,6 +63,11 @@ type Selector struct {
 	// NaiveOrder disables Property #2 (size-then-position ordering) and
 	// sweeps tensors in backward index order instead; ablation only.
 	NaiveOrder bool
+
+	// Obs, when non-nil, receives the search statistics of each Select
+	// call (candidates examined, evaluations, pruning, offload space) as
+	// search.* counters and gauges.
+	Obs *obs.Metrics
 
 	eng        *timeline.Engine
 	candidates []strategy.Option
@@ -154,7 +160,30 @@ func (sel *Selector) Select() (*strategy.Strategy, *Report, error) {
 		return nil, nil, err
 	}
 	rep.Iter = iter
+	sel.publish(rep)
 	return s, rep, nil
+}
+
+// publish exports a selection report into the attached metrics registry.
+// Counters accumulate across Select calls (a sweep over many configs sums
+// naturally); point-in-time values land in gauges.
+func (sel *Selector) publish(rep *Report) {
+	mx := sel.Obs
+	if mx == nil {
+		return
+	}
+	mx.Counter("search.selections").Inc()
+	mx.Counter("search.evals").Add(int64(rep.Evals))
+	mx.Counter("search.ruled_out").Add(int64(rep.Ruled))
+	mx.Gauge("search.candidates").Set(float64(rep.Candidates))
+	mx.Gauge("search.offload_space").Set(float64(rep.OffloadSearch))
+	mx.Gauge("search.offload_tensors").Set(float64(rep.OffloadTensors))
+	mx.Gauge("search.compressed").Set(float64(rep.Compressed))
+	mx.Gauge("search.offloaded").Set(float64(rep.Offloaded))
+	mx.Gauge("search.selection_us").Set(float64(rep.SelectionTime.Microseconds()))
+	mx.Gauge("search.alg1_us").Set(float64(rep.Alg1Time.Microseconds()))
+	mx.Gauge("search.offload_us").Set(float64(rep.OffloadTime.Microseconds()))
+	mx.Gauge("search.iter_us").Set(float64(rep.Iter.Microseconds()))
 }
 
 func (sel *Selector) iter(s *strategy.Strategy, rep *Report) (time.Duration, error) {
@@ -193,6 +222,9 @@ func (sel *Selector) candidatesFor(idx int) ([]strategy.Option, error) {
 			seen[key] = true
 			out = append(out, cand)
 		}
+	}
+	if sel.Obs != nil {
+		sel.Obs.Counter("search.candidates_pruned").Add(int64(len(sel.candidates) - len(out)))
 	}
 	sel.dedupBySize[size] = out
 	return out, nil
@@ -389,6 +421,7 @@ func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) 
 		return nil, nil, err
 	}
 	rep.Iter = iter
+	sel.publish(rep)
 	return s, rep, nil
 }
 

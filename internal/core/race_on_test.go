@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active; wall-clock
+// assertions are meaningless under its ~20x slowdown.
+const raceEnabled = true

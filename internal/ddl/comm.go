@@ -17,12 +17,24 @@ func (x *Executor) commStep(st strategy.Step, states []nodeState, group []int) e
 	return x.commDense(st, states, group)
 }
 
-// account attributes wire bytes to the step's communication domain.
-func (x *Executor) account(sc strategy.Scope, bytes int64) {
+// account attributes wire bytes to the step's communication domain,
+// split by payload kind (dense FP32 vs encoded compressed bytes).
+func (x *Executor) account(sc strategy.Scope, bytes int64, compressed bool) {
+	domain := &x.traffic.Inter
+	name := "wire.inter."
 	if sc == strategy.Intra {
-		x.traffic.IntraBytes += bytes
+		domain = &x.traffic.Intra
+		name = "wire.intra."
+	}
+	kind := "raw_bytes"
+	if compressed {
+		domain.CompressedBytes += bytes
+		kind = "compressed_bytes"
 	} else {
-		x.traffic.InterBytes += bytes
+		domain.RawBytes += bytes
+	}
+	if x.Metrics != nil {
+		x.Metrics.Counter(name + kind).Add(bytes)
 	}
 }
 
@@ -77,7 +89,7 @@ func (x *Executor) commDense(st strategy.Step, states []nodeState, group []int) 
 		}
 		// Ring allreduce: every member transmits 2(n-1)/n of its region.
 		if n > 1 {
-			x.account(st.Scope, 2*(n-1)*denseBytes(states, act[0]))
+			x.account(st.Scope, 2*(n-1)*denseBytes(states, act[0]), false)
 		}
 		data := make([][]float32, len(act))
 		for i, g := range act {
@@ -91,7 +103,7 @@ func (x *Executor) commDense(st strategy.Step, states []nodeState, group []int) 
 			return err
 		}
 		if n > 1 {
-			x.account(st.Scope, (n-1)*denseBytes(states, act[0]))
+			x.account(st.Scope, (n-1)*denseBytes(states, act[0]), false)
 		}
 		data := make([][]float32, len(act))
 		for i, g := range act {
@@ -115,7 +127,7 @@ func (x *Executor) commDense(st strategy.Step, states []nodeState, group []int) 
 			return err
 		}
 		if n > 1 {
-			x.account(st.Scope, (n-1)*denseBytes(states, act[0]))
+			x.account(st.Scope, (n-1)*denseBytes(states, act[0]), false)
 		}
 		data := make([][]float32, len(act))
 		for i, g := range act {
@@ -141,7 +153,7 @@ func (x *Executor) commDense(st strategy.Step, states []nodeState, group []int) 
 		for _, g := range act {
 			shards += denseBytes(states, g)
 		}
-		x.account(st.Scope, int64(len(group)-1)*shards)
+		x.account(st.Scope, int64(len(group)-1)*shards, false)
 		return gatherRegions(states, group, act)
 
 	case strategy.Broadcast:
@@ -149,7 +161,7 @@ func (x *Executor) commDense(st strategy.Step, states []nodeState, group []int) 
 			return fmt.Errorf("broadcast expects one holder, found %d", len(act))
 		}
 		src := &states[act[0]]
-		x.account(st.Scope, int64(len(group)-1)*denseBytes(states, act[0]))
+		x.account(st.Scope, int64(len(group)-1)*denseBytes(states, act[0]), false)
 		for _, g := range group {
 			if g == act[0] {
 				continue
@@ -218,7 +230,7 @@ func (x *Executor) commCompressed(st strategy.Step, states []nodeState, group []
 			for _, g := range act {
 				shards += x.payloadBytes(states, g)
 			}
-			x.account(st.Scope, int64(len(group)-1)*shards)
+			x.account(st.Scope, int64(len(group)-1)*shards, true)
 			return gatherPayloadRegions(states, group, act)
 		}
 		// Indivisible: same-region payload lists concatenated. Each
@@ -230,7 +242,7 @@ func (x *Executor) commCompressed(st strategy.Step, states []nodeState, group []
 		for _, g := range act {
 			contrib += x.payloadBytes(states, g)
 		}
-		x.account(st.Scope, int64(len(group)-1)*contrib)
+		x.account(st.Scope, int64(len(group)-1)*contrib, true)
 		lists := make([][]*compress.Payload, len(act))
 		for i, g := range act {
 			lists[i] = states[g].payloads
@@ -263,7 +275,7 @@ func (x *Executor) commCompressed(st strategy.Step, states []nodeState, group []
 			contrib += x.payloadBytes(states, g)
 		}
 		if n := int64(len(act)); n > 1 {
-			x.account(st.Scope, (n-1)*contrib/n)
+			x.account(st.Scope, (n-1)*contrib/n, true)
 		}
 		lists := make([][]*compress.Payload, len(act))
 		for i, g := range act {
@@ -287,7 +299,7 @@ func (x *Executor) commCompressed(st strategy.Step, states []nodeState, group []
 		}
 		// The root receives every other member's payloads.
 		for _, g := range act[1:] {
-			x.account(st.Scope, x.payloadBytes(states, g))
+			x.account(st.Scope, x.payloadBytes(states, g), true)
 		}
 		lists := make([][]*compress.Payload, len(act))
 		for i, g := range act {
@@ -307,7 +319,7 @@ func (x *Executor) commCompressed(st strategy.Step, states []nodeState, group []
 		if len(act) != 1 {
 			return fmt.Errorf("compressed broadcast expects one holder, found %d", len(act))
 		}
-		x.account(st.Scope, int64(len(group)-1)*x.payloadBytes(states, act[0]))
+		x.account(st.Scope, int64(len(group)-1)*x.payloadBytes(states, act[0]), true)
 		src := &states[act[0]]
 		for _, g := range group {
 			if g == act[0] {

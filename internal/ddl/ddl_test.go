@@ -7,6 +7,7 @@ import (
 
 	"espresso/internal/cluster"
 	"espresso/internal/compress"
+	"espresso/internal/obs"
 	"espresso/internal/strategy"
 )
 
@@ -287,14 +288,14 @@ func TestTrafficSavingsOnRealBytes(t *testing.T) {
 			{Act: strategy.Decomp},
 		},
 	})
-	if fp32.InterBytes == 0 || fp32.IntraBytes == 0 {
+	if fp32.InterBytes() == 0 || fp32.IntraBytes() == 0 {
 		t.Fatalf("FP32 traffic not accounted: %+v", fp32)
 	}
-	saving := 1 - float64(comp.InterBytes)/float64(fp32.InterBytes)
+	saving := 1 - float64(comp.InterBytes())/float64(fp32.InterBytes())
 	if saving < 0.90 {
 		t.Fatalf("inter-machine saving = %.1f%%, want ~97-98%% for 1%% sparsification", 100*saving)
 	}
-	t.Logf("inter traffic: fp32=%d compressed=%d (saving %.1f%%)", fp32.InterBytes, comp.InterBytes, 100*saving)
+	t.Logf("inter traffic: fp32=%d compressed=%d (saving %.1f%%)", fp32.InterBytes(), comp.InterBytes(), 100*saving)
 
 	// Counters reset cleanly.
 	x, _ := NewExecutor(c, compress.Spec{ID: compress.FP32})
@@ -326,7 +327,78 @@ func TestFP32TrafficMatchesFormula(t *testing.T) {
 	// 2(N-1)*S/2 = S each.
 	wantInter := 2 * S
 	got := x.Traffic()
-	if got.IntraBytes != wantIntra || got.InterBytes != wantInter {
+	if got.IntraBytes() != wantIntra || got.InterBytes() != wantInter {
 		t.Fatalf("traffic = %+v, want intra %d inter %d", got, wantIntra, wantInter)
+	}
+}
+
+// The per-phase traffic breakdown separates dense FP32 bytes from encoded
+// compressed bytes in each communication domain, and a compressed strategy
+// moves strictly fewer wire bytes than the dense baseline end to end.
+func TestTrafficPhaseBreakdown(t *testing.T) {
+	c := testCluster()
+	n := 10000
+
+	measure := func(spec compress.Spec, opt strategy.Option) (Traffic, *obs.Metrics) {
+		x, err := NewExecutor(c, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x.Metrics = obs.NewMetrics()
+		rng := rand.New(rand.NewSource(7))
+		if _, err := x.SyncTensor("t", randGrads(rng, c.TotalGPUs(), n), opt, 1); err != nil {
+			t.Fatal(err)
+		}
+		return x.Traffic(), x.Metrics
+	}
+
+	dense, _ := measure(compress.Spec{ID: compress.FP32}, strategy.NoCompression(c))
+	if dense.Intra.CompressedBytes != 0 || dense.Inter.CompressedBytes != 0 {
+		t.Fatalf("dense baseline shows compressed bytes: %+v", dense)
+	}
+	if dense.Intra.RawBytes == 0 || dense.Inter.RawBytes == 0 {
+		t.Fatalf("dense baseline missing raw bytes: %+v", dense)
+	}
+
+	// Intra stays dense (reduce-scatter / allgather2), inter carries the
+	// compressed payloads — the per-phase split must reflect exactly that.
+	comp, mx := measure(compress.Spec{ID: compress.RandomK, Ratio: 0.01}, strategy.Option{
+		Hier: true, Steps: []strategy.Step{
+			{Act: strategy.Comm, Routine: strategy.ReduceScatter, Scope: strategy.Intra},
+			{Act: strategy.Comp},
+			{Act: strategy.Comm, Routine: strategy.Allgather, Scope: strategy.Inter, Compressed: true},
+			{Act: strategy.Decomp},
+			{Act: strategy.Comm, Routine: strategy.Allgather, Scope: strategy.Intra, Second: true},
+		},
+	})
+	if comp.Intra.CompressedBytes != 0 {
+		t.Errorf("intra domain should be all-dense here: %+v", comp.Intra)
+	}
+	if comp.Inter.RawBytes != 0 || comp.Inter.CompressedBytes == 0 {
+		t.Errorf("inter domain should be all-compressed here: %+v", comp.Inter)
+	}
+	if comp.Total() >= dense.Total() {
+		t.Errorf("compressed strategy moved %d wire bytes, dense baseline %d — no saving",
+			comp.Total(), dense.Total())
+	}
+	if comp.Inter.Total() >= dense.Inter.Total() {
+		t.Errorf("inter bytes: compressed %d >= dense %d", comp.Inter.Total(), dense.Inter.Total())
+	}
+
+	// The metrics registry mirrors the Traffic accounting byte for byte,
+	// and the ratio histogram saw every compression operation.
+	snap := mx.Snapshot()
+	if got := snap.Counters["wire.inter.compressed_bytes"]; got != comp.Inter.CompressedBytes {
+		t.Errorf("metric wire.inter.compressed_bytes = %d, want %d", got, comp.Inter.CompressedBytes)
+	}
+	if got := snap.Counters["wire.intra.raw_bytes"]; got != comp.Intra.RawBytes {
+		t.Errorf("metric wire.intra.raw_bytes = %d, want %d", got, comp.Intra.RawBytes)
+	}
+	h, ok := snap.Histograms["compress.ratio"]
+	if !ok || h.Count != int64(c.TotalGPUs()) {
+		t.Errorf("compress.ratio observations = %+v, want one per GPU (%d)", h, c.TotalGPUs())
+	}
+	if h.Max > 0.2 {
+		t.Errorf("1%% sparsification ratio max = %v, want well under 0.2", h.Max)
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"espresso/internal/cluster"
 	"espresso/internal/compress"
+	"espresso/internal/obs"
 	"espresso/internal/strategy"
 )
 
@@ -28,6 +29,10 @@ type Executor struct {
 	// ablation uses it; production GC needs EF to preserve accuracy.
 	DisableErrorFeedback bool
 
+	// Metrics, when non-nil, receives wire-byte counters per domain and
+	// payload kind plus a per-tensor compression-ratio histogram.
+	Metrics *obs.Metrics
+
 	comp compress.Compressor
 	// ef holds per-GPU error-feedback state, keyed inside by tensor
 	// name and region.
@@ -36,17 +41,34 @@ type Executor struct {
 	traffic Traffic
 }
 
-// Traffic accounts the wire bytes every GPU sent during synchronization,
-// by communication domain — measured from the actual payloads (encoded
-// compressed bytes or dense FP32 bytes), so it validates the gradient-
-// exchange savings claim on real data rather than on the cost models.
-type Traffic struct {
-	IntraBytes int64
-	InterBytes int64
+// PhaseBytes splits one communication domain's wire bytes by payload
+// kind: dense FP32 regions vs encoded compressed payloads.
+type PhaseBytes struct {
+	RawBytes        int64 `json:"raw_bytes"`
+	CompressedBytes int64 `json:"compressed_bytes"`
 }
 
+// Total is the domain's combined wire bytes.
+func (p PhaseBytes) Total() int64 { return p.RawBytes + p.CompressedBytes }
+
+// Traffic accounts the wire bytes every GPU sent during synchronization,
+// by communication domain and payload kind — measured from the actual
+// payloads (encoded compressed bytes or dense FP32 bytes), so it
+// validates the gradient-exchange savings claim on real data rather than
+// on the cost models.
+type Traffic struct {
+	Intra PhaseBytes `json:"intra"`
+	Inter PhaseBytes `json:"inter"`
+}
+
+// IntraBytes is the intra-machine total across payload kinds.
+func (t Traffic) IntraBytes() int64 { return t.Intra.Total() }
+
+// InterBytes is the inter-machine total across payload kinds.
+func (t Traffic) InterBytes() int64 { return t.Inter.Total() }
+
 // Total is the combined traffic.
-func (t Traffic) Total() int64 { return t.IntraBytes + t.InterBytes }
+func (t Traffic) Total() int64 { return t.Intra.Total() + t.Inter.Total() }
 
 // Traffic returns the accumulated traffic counters.
 func (x *Executor) Traffic() Traffic { return x.traffic }
@@ -201,6 +223,17 @@ func (x *Executor) compressStep(name string, states []nodeState, seed uint64, us
 			p = x.comp.Compress(s.dense, seed+uint64(g))
 		}
 		p.Base = s.lo
+		if x.Metrics != nil {
+			dense := 4 * int64(s.hi-s.lo)
+			wire := int64(x.comp.WireBytes(p.N))
+			x.Metrics.Counter("compress.ops").Inc()
+			x.Metrics.Counter("compress.dense_bytes").Add(dense)
+			x.Metrics.Counter("compress.wire_bytes").Add(wire)
+			if dense > 0 {
+				x.Metrics.Histogram("compress.ratio", obs.RatioBuckets...).
+					Observe(float64(wire) / float64(dense))
+			}
+		}
 		s.payloads = []*compress.Payload{p}
 		s.dense = nil
 		s.compressed = true

@@ -73,7 +73,7 @@ func Traffic() ([]TrafficRow, error) {
 		}
 		rows = append(rows, TrafficRow{
 			Algo:           spec.String(),
-			InterSavingPct: 100 * (1 - float64(tr.InterBytes)/float64(fp32.InterBytes)),
+			InterSavingPct: 100 * (1 - float64(tr.InterBytes())/float64(fp32.InterBytes())),
 			WireRatio:      float64(comp.WireBytes(n)) / float64(4*n),
 		})
 	}

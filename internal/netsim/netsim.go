@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"espresso/internal/obs"
 	"espresso/internal/sim"
 )
 
@@ -68,6 +69,82 @@ func (nw *Network) send(src, dst int, bytes int64, done func()) {
 
 // run drains the event queue and returns the finish time.
 func (nw *Network) run() time.Duration { return nw.eng.Run() }
+
+// Reset clears the egress link histories so one Network can host several
+// independently measured collectives.
+func (nw *Network) Reset() {
+	for _, e := range nw.egress {
+		e.Reset()
+	}
+}
+
+// LinkStat summarizes one node's egress link after a collective run.
+type LinkStat struct {
+	Node     int
+	Messages int
+	// Busy is the accumulated serialization time on the link; Makespan
+	// is the collective's finish time; Utilization is their ratio.
+	Busy        time.Duration
+	Makespan    time.Duration
+	Utilization float64
+	// MaxQueueWait is the longest any message waited behind earlier
+	// traffic on this link.
+	MaxQueueWait time.Duration
+}
+
+// LinkStats derives per-node egress statistics from the resource spans of
+// the collective(s) run so far — the message-level link-utilization view
+// the closed-form α–β models cannot provide.
+func (nw *Network) LinkStats() []LinkStat {
+	makespan := nw.eng.Now()
+	stats := make([]LinkStat, nw.n)
+	for i, e := range nw.egress {
+		st := LinkStat{Node: i, Busy: e.Busy(), Makespan: makespan}
+		for _, sp := range e.Spans() {
+			st.Messages++
+			if q := sp.Queued(); q > st.MaxQueueWait {
+				st.MaxQueueWait = q
+			}
+		}
+		if makespan > 0 {
+			st.Utilization = float64(st.Busy) / float64(makespan)
+		}
+		stats[i] = st
+	}
+	return stats
+}
+
+// Observe exports the network's link telemetry: one span per transmitted
+// message into tr (rank = node, device "nic", classified as phase), and
+// utilization gauges plus a queue-wait histogram into mx. Either sink may
+// be nil.
+func (nw *Network) Observe(tr obs.Recorder, mx *obs.Metrics, phase obs.Phase) {
+	if obs.Enabled(tr) {
+		for node, e := range nw.egress {
+			for i, sp := range e.Spans() {
+				tr.Record(obs.Span{
+					Rank: node, Device: "nic", Phase: phase,
+					Name:  fmt.Sprintf("msg%d", i),
+					Ready: sp.Ready, Start: sp.Start, End: sp.End,
+				})
+			}
+		}
+	}
+	if mx != nil {
+		var worst, sum float64
+		for _, st := range nw.LinkStats() {
+			sum += st.Utilization
+			if st.Utilization > worst {
+				worst = st.Utilization
+			}
+			mx.Histogram("netsim.queue_wait_us").Observe(float64(st.MaxQueueWait.Microseconds()))
+			mx.Counter("netsim.messages").Add(int64(st.Messages))
+		}
+		mx.Gauge("netsim.link_utilization.max").Set(worst)
+		mx.Gauge("netsim.link_utilization.mean").Set(sum / float64(nw.n))
+		mx.Gauge("netsim.makespan_us").Set(float64(nw.eng.Now().Microseconds()))
+	}
+}
 
 // RingAllreduce simulates a ring allreduce of a bytes-sized tensor:
 // 2(n-1) rounds in which every node forwards a 1/n chunk to its

@@ -9,6 +9,7 @@ import (
 	"espresso/internal/compress"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/obs"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -138,4 +139,65 @@ func TestHierarchicalMatchesTimelineChain(t *testing.T) {
 		c.InterLatency, // conservative: the larger latency everywhere
 		m.Tensors[0].Bytes())
 	within(t, "hierarchical", simulated, analytic, 20)
+}
+
+// Link telemetry: a symmetric ring keeps every egress link equally busy,
+// utilization lands in (0, 1], and spans/metrics surface through obs.
+func TestLinkStatsAndObserve(t *testing.T) {
+	nw := New(4, 2*time.Microsecond, 1e9)
+	nw.RingAllreduce(4 << 20)
+
+	stats := nw.LinkStats()
+	if len(stats) != 4 {
+		t.Fatalf("stats for %d nodes, want 4", len(stats))
+	}
+	for _, st := range stats {
+		// 2(n-1) rounds, one message per node per round.
+		if st.Messages != 6 {
+			t.Errorf("node %d sent %d messages, want 6", st.Node, st.Messages)
+		}
+		if st.Utilization <= 0 || st.Utilization > 1 {
+			t.Errorf("node %d utilization %v outside (0,1]", st.Node, st.Utilization)
+		}
+		if st.Busy != stats[0].Busy {
+			t.Errorf("asymmetric busy on symmetric ring: node %d %v vs %v", st.Node, st.Busy, stats[0].Busy)
+		}
+	}
+
+	tr := obs.NewTrace()
+	mx := obs.NewMetrics()
+	nw.Observe(tr, mx, obs.PhaseLink)
+	if tr.Len() != 24 {
+		t.Errorf("trace has %d spans, want 24 (4 nodes x 6 messages)", tr.Len())
+	}
+	snap := mx.Snapshot()
+	if snap.Counters["netsim.messages"] != 24 {
+		t.Errorf("netsim.messages = %d, want 24", snap.Counters["netsim.messages"])
+	}
+	if u := snap.Gauges["netsim.link_utilization.mean"]; u <= 0 || u > 1 {
+		t.Errorf("mean utilization %v outside (0,1]", u)
+	}
+	if snap.Gauges["netsim.makespan_us"] <= 0 {
+		t.Error("makespan gauge not set")
+	}
+
+	// Reset clears the histories for an independent follow-up run.
+	nw.Reset()
+	for _, st := range nw.LinkStats() {
+		if st.Messages != 0 || st.Busy != 0 {
+			t.Fatalf("reset left history: %+v", st)
+		}
+	}
+}
+
+// A straggler link must show up as skewed utilization — the
+// heterogeneity signal the closed forms cannot express.
+func TestLinkStatsExposeStraggler(t *testing.T) {
+	nw := New(4, time.Microsecond, 1e9)
+	nw.SetLink(0, 1, 1e8) // node 0's egress is 10x slower
+	nw.RingAllreduce(4 << 20)
+	stats := nw.LinkStats()
+	if stats[0].Busy <= stats[1].Busy {
+		t.Fatalf("straggler link not busier: node0 %v vs node1 %v", stats[0].Busy, stats[1].Busy)
+	}
 }

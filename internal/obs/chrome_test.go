@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeChrome parses an exported trace back into generic JSON for
+// schema assertions.
+func decodeChrome(t *testing.T, buf []byte) (events []map[string]any) {
+	t.Helper()
+	var file struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf, &file); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+	return file.TraceEvents
+}
+
+func TestWriteChromeSchema(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Span{Rank: 1, Device: "inter", Phase: PhaseInter, Name: "T0 inter.allreduce",
+		Ready: 0, Start: 1500 * time.Nanosecond, End: 4500 * time.Nanosecond, Bytes: 1024})
+	tr.Record(Span{Rank: 0, Device: "gpu", Phase: PhaseCompute, Name: "T0 backward",
+		Ready: 0, Start: 0, End: time.Microsecond})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeChrome(t, buf.Bytes())
+
+	var complete, procMeta, threadMeta int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			for _, key := range []string{"name", "cat", "ts", "dur", "pid", "tid", "args"} {
+				if _, ok := ev[key]; !ok {
+					t.Errorf("complete event %v missing %q", ev["name"], key)
+				}
+			}
+		case "M":
+			switch ev["name"] {
+			case "process_name":
+				procMeta++
+			case "thread_name":
+				threadMeta++
+			}
+		default:
+			t.Errorf("unexpected event phase %v", ev["ph"])
+		}
+	}
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2", complete)
+	}
+	if procMeta != 2 || threadMeta != 2 {
+		t.Errorf("metadata events = %d procs / %d threads, want 2 / 2", procMeta, threadMeta)
+	}
+}
+
+func TestWriteChromeValues(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Span{Rank: 3, Device: "cpu", Phase: PhaseEncode, Name: "enc",
+		Ready: 2 * time.Microsecond, Start: 5 * time.Microsecond, End: 11 * time.Microsecond, Bytes: 77})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeChrome(t, buf.Bytes()) {
+		if ev["ph"] != "X" {
+			continue
+		}
+		if ev["ts"].(float64) != 5 || *jsonNum(ev["dur"]) != 6 {
+			t.Errorf("ts/dur = %v/%v, want 5/6 us", ev["ts"], ev["dur"])
+		}
+		if int(ev["pid"].(float64)) != 3 {
+			t.Errorf("pid = %v, want rank 3", ev["pid"])
+		}
+		if int(ev["tid"].(float64)) != 1 {
+			t.Errorf("tid = %v, want 1 (cpu track)", ev["tid"])
+		}
+		args := ev["args"].(map[string]any)
+		if args["phase"] != "encode" || args["queue_wait_us"].(float64) != 3 || args["bytes"].(float64) != 77 {
+			t.Errorf("args = %v", args)
+		}
+	}
+}
+
+func jsonNum(v any) *float64 {
+	f := v.(float64)
+	return &f
+}
+
+// Golden output for a tiny trace: the exporter's byte-for-byte format is
+// part of its contract with external viewers, so format drift should be a
+// conscious decision.
+func TestWriteChromeGolden(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Span{Rank: 0, Device: "gpu", Phase: PhaseCompute, Name: "T0 backward",
+		Start: 0, End: 2 * time.Microsecond})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := strings.Join([]string{
+		`{`,
+		` "traceEvents": [`,
+		`  {`,
+		`   "name": "process_name",`,
+		`   "ph": "M",`,
+		`   "ts": 0,`,
+		`   "pid": 0,`,
+		`   "tid": 0,`,
+		`   "args": {`,
+		`    "name": "rank0"`,
+		`   }`,
+		`  },`,
+		`  {`,
+		`   "name": "thread_name",`,
+		`   "ph": "M",`,
+		`   "ts": 0,`,
+		`   "pid": 0,`,
+		`   "tid": 0,`,
+		`   "args": {`,
+		`    "name": "gpu"`,
+		`   }`,
+		`  },`,
+		`  {`,
+		`   "name": "thread_sort_index",`,
+		`   "ph": "M",`,
+		`   "ts": 0,`,
+		`   "pid": 0,`,
+		`   "tid": 0,`,
+		`   "args": {`,
+		`    "sort_index": 0`,
+		`   }`,
+		`  },`,
+		`  {`,
+		`   "name": "T0 backward",`,
+		`   "ph": "X",`,
+		`   "cat": "compute",`,
+		`   "ts": 0,`,
+		`   "dur": 2,`,
+		`   "pid": 0,`,
+		`   "tid": 0,`,
+		`   "args": {`,
+		`    "phase": "compute",`,
+		`    "queue_wait_us": 0`,
+		`   }`,
+		`  }`,
+		` ],`,
+		` "displayTimeUnit": "ms"`,
+		`}`,
+		``,
+	}, "\n")
+	if buf.String() != golden {
+		t.Errorf("golden mismatch:\n got: %s\nwant: %s", buf.String(), golden)
+	}
+}
+
+// Spans recorded out of time order (replayed history) must still export
+// sorted per track.
+func TestWriteChromeSortsWithinTrack(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Span{Rank: 0, Device: "gpu", Name: "late", Start: 10 * time.Microsecond, End: 11 * time.Microsecond})
+	tr.Record(Span{Rank: 0, Device: "gpu", Name: "early", Start: time.Microsecond, End: 2 * time.Microsecond})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ev := range decodeChrome(t, buf.Bytes()) {
+		if ev["ph"] == "X" {
+			names = append(names, ev["name"].(string))
+		}
+	}
+	if len(names) != 2 || names[0] != "early" || names[1] != "late" {
+		t.Fatalf("event order = %v, want [early late]", names)
+	}
+}

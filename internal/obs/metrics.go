@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges, and histograms. Names
+// are dot-separated lowercase paths ("wire.inter.compressed_bytes").
+// Instruments are created on first use and live for the registry's
+// lifetime; all operations are safe for concurrent use. A nil *Metrics is
+// the disabled state: callers guard with `if m != nil`.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing integer instrument.
+type Counter struct{ v atomic.Int64 }
+
+// Add increases the counter by n (n may not be negative).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: negative counter increment")
+	}
+	c.v.Add(n)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float instrument.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value reads the last stored value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates a distribution of float observations into
+// cumulative less-than-or-equal buckets (Prometheus-style), plus count,
+// sum, min, and max.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// DurationBuckets is the default bucket layout for virtual-time
+// observations in microseconds: exponential powers of four from 1us to
+// ~1s, a shape that resolves both sub-millisecond queue waits and
+// whole-iteration spans.
+var DurationBuckets = func() []float64 {
+	var b []float64
+	for v := 1.0; v <= 1.1e6; v *= 4 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// RatioBuckets is the default layout for compression-ratio observations
+// (compressed bytes / dense bytes) in (0, 1].
+var RatioBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean reports the average observation (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use (DurationBuckets when omitted).
+// Later calls ignore bounds.
+func (m *Metrics) Histogram(name string, bounds ...float64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DurationBuckets
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic("obs: histogram bounds not ascending: " + name)
+			}
+		}
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the exported form of a histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket: the count of
+// observations <= Le. The final bucket has Le = +Inf, encoded as the
+// JSON string "+Inf".
+type BucketSnapshot struct {
+	Le    float64 `json:"-"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON encodes the bucket with an "le" key, mapping +Inf to a
+// string (JSON has no infinity literal).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	type out struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	le := any(b.Le)
+	if math.IsInf(b.Le, +1) {
+		le = "+Inf"
+	}
+	return json.Marshal(out{Le: le, Count: b.Count})
+}
+
+// Snapshot is a point-in-time copy of the whole registry, with map keys
+// sorted by encoding/json for deterministic output.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every instrument's current state.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(m.counters)),
+		Gauges:     make(map[string]float64, len(m.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(m.hists)),
+	}
+	for name, c := range m.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range m.hists {
+		h.mu.Lock()
+		hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+		}
+		cum := int64(0)
+		for i, c := range h.counts {
+			cum += c
+			le := math.Inf(+1)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{Le: le, Count: cum})
+		}
+		h.mu.Unlock()
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON exports the registry as indented JSON with deterministic key
+// order.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m.Snapshot())
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("wire.bytes").Add(100)
+	m.Counter("wire.bytes").Inc()
+	if got := m.Counter("wire.bytes").Value(); got != 101 {
+		t.Errorf("counter = %d, want 101", got)
+	}
+	m.Gauge("util").Set(0.25)
+	m.Gauge("util").Set(0.75)
+	if got := m.Gauge("util").Value(); got != 0.75 {
+		t.Errorf("gauge = %v, want 0.75", got)
+	}
+}
+
+func TestNegativeCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	NewMetrics().Counter("x").Add(-1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("wait", 1, 10, 100)
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 5060.5 {
+		t.Fatalf("count/sum = %d/%v", h.Count(), h.Sum())
+	}
+	if h.Mean() != 5060.5/5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	snap := m.Snapshot().Histograms["wait"]
+	if snap.Min != 0.5 || snap.Max != 5000 {
+		t.Fatalf("min/max = %v/%v", snap.Min, snap.Max)
+	}
+	// Cumulative bucket counts: <=1: 1, <=10: 3, <=100: 4, <=+Inf: 5.
+	wantCum := []int64{1, 3, 4, 5}
+	if len(snap.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(snap.Buckets), len(wantCum))
+	}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(snap.Buckets[len(snap.Buckets)-1].Le, +1) {
+		t.Error("last bucket bound is not +Inf")
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	h := NewMetrics().Histogram("h", 10)
+	h.Observe(10) // exactly on the bound: belongs to the <=10 bucket
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts[0] != 1 || h.counts[1] != 0 {
+		t.Fatalf("counts = %v, want [1 0]", h.counts)
+	}
+}
+
+func TestNonAscendingBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("descending bounds did not panic")
+		}
+	}()
+	NewMetrics().Histogram("bad", 10, 5)
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a.count").Add(7)
+	m.Gauge("b.gauge").Set(1.5)
+	m.Histogram("c.hist", RatioBuckets...).Observe(0.01)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Counters   map[string]int64           `json:"counters"`
+		Gauges     map[string]float64         `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if out.Counters["a.count"] != 7 || out.Gauges["b.gauge"] != 1.5 {
+		t.Fatalf("round trip lost values: %+v", out)
+	}
+	if _, ok := out.Histograms["c.hist"]; !ok {
+		t.Fatal("histogram missing from export")
+	}
+	// The +Inf bucket must encode as a string, not a JSON error.
+	if !bytes.Contains(buf.Bytes(), []byte(`"+Inf"`)) {
+		t.Error("no +Inf bucket in export")
+	}
+}
+
+// The registry is shared by every instrumented engine; it must be safe
+// under the race detector.
+func TestMetricsConcurrency(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				m.Counter("c").Inc()
+				m.Gauge("g").Set(float64(j))
+				m.Histogram("h", 1, 2, 4).Observe(float64(j % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := m.Histogram("h").Count(); got != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", got)
+	}
+}

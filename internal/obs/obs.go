@@ -1,0 +1,119 @@
+// Package obs is the virtual-time telemetry layer of the reproduction:
+// a Recorder abstraction for timed spans keyed by rank, device track, and
+// pipeline phase; a Chrome trace-event exporter (Perfetto /
+// chrome://tracing compatible) that makes an iteration's overlap and
+// bubbles visually inspectable; and a metrics registry for the byte,
+// ratio, queue-wait, and strategy-search statistics the evaluation cares
+// about.
+//
+// Time throughout this package is the simulator's virtual clock
+// (time.Duration since iteration start), never the wall clock. Recording
+// is strictly opt-in: every instrumented engine accepts a nil Recorder
+// and/or nil *Metrics and pays nothing — no allocation, no branch beyond
+// one nil check — when telemetry is disabled.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase classifies a span by its position in the compression /
+// communication pipeline (§3–§4 of the paper).
+type Phase uint8
+
+const (
+	// PhaseCompute is backward-propagation compute (the gradient's
+	// producer kernel).
+	PhaseCompute Phase = iota
+	// PhaseEncode is a compression operation, on either device type.
+	PhaseEncode
+	// PhaseDecode is a decompression (plus dense aggregation) operation.
+	PhaseDecode
+	// PhaseOffload is GPU<->host staging over PCIe for CPU compression.
+	PhaseOffload
+	// PhaseIntra is an intra-machine collective.
+	PhaseIntra
+	// PhaseInter is an inter-machine collective.
+	PhaseInter
+	// PhaseLink is a message-level network transmission (netsim egress).
+	PhaseLink
+
+	// NumPhases bounds iteration over the phase space.
+	NumPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhaseEncode:
+		return "encode"
+	case PhaseDecode:
+		return "decode"
+	case PhaseOffload:
+		return "offload"
+	case PhaseIntra:
+		return "intra-collective"
+	case PhaseInter:
+		return "inter-collective"
+	case PhaseLink:
+		return "link"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Span is one timed interval on a rank's device track, in virtual time.
+type Span struct {
+	// Rank is the participant index (machine or GPU rank, depending on
+	// the engine emitting the span).
+	Rank int
+	// Device names the track within the rank: "gpu", "cpu", "pcie",
+	// "intra", "inter", "nic".
+	Device string
+	// Phase classifies the work.
+	Phase Phase
+	// Name is the human-readable label shown on the trace slice.
+	Name string
+	// Ready is when the work was submitted; Start-Ready is the queue
+	// wait on the device.
+	Ready time.Duration
+	// Start and End bound the interval during which the work held the
+	// device.
+	Start time.Duration
+	End   time.Duration
+	// Bytes is the payload size the span moved or transformed, when the
+	// emitting engine knows it (0 otherwise).
+	Bytes int64
+}
+
+// Dur is the span's service time.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// QueueWait is how long the work waited for its device.
+func (s Span) QueueWait() time.Duration { return s.Start - s.Ready }
+
+// Recorder captures telemetry spans. Implementations must tolerate spans
+// arriving out of time order (engines replay recorded history).
+type Recorder interface {
+	// Enabled reports whether Record does anything; callers may skip
+	// span construction entirely when it returns false.
+	Enabled() bool
+	// Record captures one span.
+	Record(Span)
+}
+
+// Enabled reports whether r is an active recorder. A nil Recorder is the
+// canonical disabled state and is always safe to pass around.
+func Enabled(r Recorder) bool { return r != nil && r.Enabled() }
+
+// Nop is a Recorder that drops everything. It exists for call sites that
+// want a non-nil recorder value; passing nil is equally valid.
+type Nop struct{}
+
+// Enabled reports false: Nop drops every span.
+func (Nop) Enabled() bool { return false }
+
+// Record drops the span.
+func (Nop) Record(Span) {}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		PhaseCompute: "compute",
+		PhaseEncode:  "encode",
+		PhaseDecode:  "decode",
+		PhaseOffload: "offload",
+		PhaseIntra:   "intra-collective",
+		PhaseInter:   "inter-collective",
+		PhaseLink:    "link",
+	}
+	if len(want) != int(NumPhases) {
+		t.Fatalf("test covers %d phases, NumPhases = %d", len(want), NumPhases)
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestEnabledHelper(t *testing.T) {
+	if Enabled(nil) {
+		t.Error("nil recorder reported enabled")
+	}
+	if Enabled(Nop{}) {
+		t.Error("Nop reported enabled")
+	}
+	if !Enabled(NewTrace()) {
+		t.Error("Trace reported disabled")
+	}
+}
+
+// The disabled path must be allocation-free: instrumented engines guard
+// with Enabled and never build spans for a nil or Nop recorder.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var r Recorder = Nop{}
+	allocs := testing.AllocsPerRun(100, func() {
+		if Enabled(r) {
+			r.Record(Span{})
+		}
+		if Enabled(nil) {
+			t.Fatal("unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recording allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestSpanDerivedTimes(t *testing.T) {
+	sp := Span{Ready: 2 * time.Millisecond, Start: 5 * time.Millisecond, End: 9 * time.Millisecond}
+	if sp.Dur() != 4*time.Millisecond {
+		t.Errorf("Dur = %v, want 4ms", sp.Dur())
+	}
+	if sp.QueueWait() != 3*time.Millisecond {
+		t.Errorf("QueueWait = %v, want 3ms", sp.QueueWait())
+	}
+}
+
+func TestTraceRetainsAndCopies(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Span{Rank: 0, Device: "gpu", Name: "a"})
+	tr.Record(Span{Rank: 1, Device: "nic", Name: "b"})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	spans := tr.Spans()
+	spans[0].Name = "mutated"
+	if got := tr.Spans()[0].Name; got != "a" {
+		t.Fatalf("Spans() aliases internal storage: name = %q", got)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", tr.Len())
+	}
+}
+
+// A nil *Trace is a valid disabled recorder even when it reaches Enabled
+// through the interface as a typed nil.
+func TestNilTraceIsDisabled(t *testing.T) {
+	var tr *Trace
+	if Enabled(tr) {
+		t.Error("typed-nil *Trace reported enabled")
+	}
+}

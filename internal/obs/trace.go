@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is a Recorder that retains every span for later export. It is
+// safe for concurrent use (the CI suite runs the instrumented engines
+// under the race detector).
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace recorder.
+func NewTrace() *Trace { return &Trace{} }
+
+// Enabled reports whether the trace retains spans. A nil *Trace is a
+// valid disabled recorder, so callers may pass an optional trace through
+// without a typed-nil interface slipping past obs.Enabled.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Record appends one span.
+func (t *Trace) Record(sp Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in arrival order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Reset discards all recorded spans.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.mu.Unlock()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format's JSON Array
+// representation, as consumed by Perfetto and chrome://tracing. Complete
+// events use ph "X" with ts/dur in (fractional) microseconds; metadata
+// events use ph "M" to name process and thread tracks.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON Object representation of a trace, which lets us
+// attach displayTimeUnit.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// wellKnownTracks fixes the thread ids (and therefore the display order)
+// of the device tracks every engine in this repository emits; devices
+// outside this set are assigned ids after it in first-seen order.
+var wellKnownTracks = []string{"gpu", "cpu", "pcie", "intra", "inter", "nic"}
+
+// WriteChrome exports the trace in Chrome trace-event JSON: one process
+// per rank, one thread per device track within the rank, and one complete
+// ("X") event per span with its phase as the category and the queue wait
+// and payload size as args. The output opens directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+
+	tids := map[string]int{}
+	for i, d := range wellKnownTracks {
+		tids[d] = i
+	}
+	tidFor := func(device string) int {
+		id, ok := tids[device]
+		if !ok {
+			id = len(tids)
+			tids[device] = id
+		}
+		return id
+	}
+
+	// Stable export order: by rank, then device track, then start time,
+	// regardless of recording order.
+	sort.SliceStable(spans, func(a, b int) bool {
+		sa, sb := spans[a], spans[b]
+		if sa.Rank != sb.Rank {
+			return sa.Rank < sb.Rank
+		}
+		ta, tb := tidFor(sa.Device), tidFor(sb.Device)
+		if ta != tb {
+			return ta < tb
+		}
+		return sa.Start < sb.Start
+	})
+
+	type track struct{ rank, tid int }
+	seenRank := map[int]bool{}
+	seenTrack := map[track]string{}
+	var events []chromeEvent
+	for _, sp := range spans {
+		tid := tidFor(sp.Device)
+		if !seenRank[sp.Rank] {
+			seenRank[sp.Rank] = true
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: sp.Rank, Tid: 0,
+				Args: map[string]any{"name": fmt.Sprintf("rank%d", sp.Rank)},
+			})
+		}
+		if _, ok := seenTrack[track{sp.Rank, tid}]; !ok {
+			seenTrack[track{sp.Rank, tid}] = sp.Device
+			events = append(events,
+				chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: sp.Rank, Tid: tid,
+					Args: map[string]any{"name": sp.Device},
+				},
+				chromeEvent{
+					Name: "thread_sort_index", Ph: "M", Pid: sp.Rank, Tid: tid,
+					Args: map[string]any{"sort_index": tid},
+				})
+		}
+		dur := micros(sp.Dur())
+		args := map[string]any{
+			"phase":         sp.Phase.String(),
+			"queue_wait_us": micros(sp.QueueWait()),
+		}
+		if sp.Bytes > 0 {
+			args["bytes"] = sp.Bytes
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name, Ph: "X", Cat: sp.Phase.String(),
+			Ts: micros(sp.Start), Dur: &dur,
+			Pid: sp.Rank, Tid: tid, Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// micros converts virtual time to the trace format's microsecond unit,
+// keeping sub-microsecond precision as a fraction.
+func micros(d time.Duration) float64 { return float64(d) / 1e3 }

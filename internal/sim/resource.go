@@ -78,8 +78,11 @@ func (f *FIFO) Free() time.Duration { return f.free }
 // Busy reports the accumulated service time across all reservations.
 func (f *FIFO) Busy() time.Duration { return f.busy }
 
-// Spans returns the reservation history in service order.
-func (f *FIFO) Spans() []Span { return f.spans }
+// Spans returns a copy of the reservation history in service order. The
+// history accumulates until Reset; callers that evaluate many runs on one
+// resource (the telemetry layer harvests these spans per run) must Reset
+// between runs to keep records from bleeding across them.
+func (f *FIFO) Spans() []Span { return append([]Span(nil), f.spans...) }
 
 // Reset clears all reservations, returning the resource to idle at time 0.
 func (f *FIFO) Reset() {
@@ -132,7 +135,6 @@ func (p *Pool) Reserve(label string, ready, dur time.Duration) Span {
 		if free < p.servers[best] {
 			best = i
 		}
-		_ = free
 	}
 	start := ready
 	if p.servers[best] > start {
@@ -160,8 +162,9 @@ func (p *Pool) Submit(label string, ready, dur time.Duration, done func(Span)) S
 // Busy reports accumulated service time across all servers.
 func (p *Pool) Busy() time.Duration { return p.busy }
 
-// Spans returns the reservation history in submission order.
-func (p *Pool) Spans() []Span { return p.spans }
+// Spans returns a copy of the reservation history in submission order;
+// see FIFO.Spans for the ownership and Reset contract.
+func (p *Pool) Spans() []Span { return append([]Span(nil), p.spans...) }
 
 // Reset clears all reservations.
 func (p *Pool) Reset() {

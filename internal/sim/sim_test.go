@@ -218,6 +218,98 @@ func TestBusyAccountingProperty(t *testing.T) {
 	}
 }
 
+func TestRunUntilWithPendingEventsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var ran []time.Duration
+	for _, at := range []time.Duration{1, 4, 9, 16} {
+		at := at * time.Millisecond
+		e.Schedule(at, func() { ran = append(ran, at) })
+	}
+	// An event exactly on the deadline runs; later ones stay queued.
+	if end := e.RunUntil(4 * time.Millisecond); end != 4*time.Millisecond {
+		t.Fatalf("end = %v, want 4ms", end)
+	}
+	if len(ran) != 2 || e.Pending() != 2 {
+		t.Fatalf("ran %v with %d pending, want 2 ran / 2 pending", ran, e.Pending())
+	}
+	// A deadline strictly between events dispatches nothing but still
+	// advances the clock, and the queue survives intact.
+	if end := e.RunUntil(8 * time.Millisecond); end != 8*time.Millisecond {
+		t.Fatalf("idle RunUntil end = %v, want 8ms", end)
+	}
+	if len(ran) != 2 || e.Pending() != 2 {
+		t.Fatalf("idle RunUntil dispatched: ran %v, pending %d", ran, e.Pending())
+	}
+	// Draining afterwards completes the remaining events in order.
+	if end := e.Run(); end != 16*time.Millisecond {
+		t.Fatalf("drain end = %v, want 16ms", end)
+	}
+	if len(ran) != 4 || e.Pending() != 0 {
+		t.Fatalf("after drain: ran %v, pending %d", ran, e.Pending())
+	}
+}
+
+func TestFIFOAccountingUnderContention(t *testing.T) {
+	f := NewFIFO(nil, "nic")
+	// Three back-to-back submissions all ready at t=0 contend for the
+	// resource; service is serialized in submission order.
+	a := f.Reserve("a", 0, 4*time.Millisecond)
+	b := f.Reserve("b", 0, 6*time.Millisecond)
+	c := f.Reserve("c", 0, 2*time.Millisecond)
+	if a.Queued() != 0 {
+		t.Errorf("a queued %v, want 0", a.Queued())
+	}
+	if b.Start != 4*time.Millisecond || b.Queued() != 4*time.Millisecond {
+		t.Errorf("b = %+v, want start/queued 4ms", b)
+	}
+	if c.Start != 10*time.Millisecond || c.Queued() != 10*time.Millisecond {
+		t.Errorf("c = %+v, want start/queued 10ms", c)
+	}
+	if f.Busy() != 12*time.Millisecond {
+		t.Errorf("Busy = %v, want 12ms (sum of service times)", f.Busy())
+	}
+	if f.Free() != 12*time.Millisecond {
+		t.Errorf("Free = %v, want 12ms (last span end)", f.Free())
+	}
+	// A job arriving after an idle gap leaves the gap out of Busy.
+	d := f.Reserve("d", 20*time.Millisecond, time.Millisecond)
+	if d.Queued() != 0 {
+		t.Errorf("d queued %v, want 0 after idle gap", d.Queued())
+	}
+	if f.Busy() != 13*time.Millisecond || f.Free() != 21*time.Millisecond {
+		t.Errorf("Busy/Free = %v/%v, want 13ms/21ms", f.Busy(), f.Free())
+	}
+}
+
+// Spans must hand out a copy: the telemetry layer reads span history
+// while engines keep reserving, and historical records must not be
+// mutable through the returned slice.
+func TestSpansReturnsCopy(t *testing.T) {
+	f := NewFIFO(nil, "x")
+	f.Reserve("a", 0, time.Millisecond)
+	got := f.Spans()
+	got[0].Label = "mutated"
+	if f.Spans()[0].Label != "a" {
+		t.Fatal("FIFO.Spans aliases internal storage")
+	}
+	// Appending to the returned slice must not interleave with the
+	// resource's own growth.
+	got = append(got, Span{Label: "rogue"})
+	f.Reserve("b", 0, time.Millisecond)
+	spans := f.Spans()
+	if len(spans) != 2 || spans[1].Label != "b" {
+		t.Fatalf("spans = %+v, want [a b]", spans)
+	}
+
+	p := NewPool(nil, "y", 2)
+	p.Reserve("a", 0, time.Millisecond)
+	ps := p.Spans()
+	ps[0].Label = "mutated"
+	if p.Spans()[0].Label != "a" {
+		t.Fatal("Pool.Spans aliases internal storage")
+	}
+}
+
 func TestNegativeDurationPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

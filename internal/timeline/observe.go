@@ -1,0 +1,105 @@
+package timeline
+
+import (
+	"fmt"
+
+	"espresso/internal/obs"
+	"espresso/internal/strategy"
+)
+
+// track maps a timeline resource to its telemetry device track name.
+func (r Resource) track() string { return r.String() }
+
+// phaseOf classifies an operation for the telemetry layer: the backward
+// kernel is compute; staging is the offload phase regardless of the step
+// that induced it; Comp/Decomp steps are encode/decode; Comm steps map to
+// their network resource (a flat collective lands on whichever domain
+// carries it).
+func phaseOf(op Op, opt strategy.Option) obs.Phase {
+	if op.Step < 0 {
+		return obs.PhaseCompute
+	}
+	if op.Res == ResStaging {
+		return obs.PhaseOffload
+	}
+	st := opt.Steps[op.Step]
+	switch st.Act {
+	case strategy.Comp:
+		return obs.PhaseEncode
+	case strategy.Decomp:
+		return obs.PhaseDecode
+	default:
+		if op.Res == ResInter {
+			return obs.PhaseInter
+		}
+		return obs.PhaseIntra
+	}
+}
+
+// Observe replays a derived timeline into the telemetry layer. Spans go
+// to tr (one track per rank x device), and distribution/level metrics to
+// mx; either may be nil. The strategy must be the one the result was
+// derived from — it supplies the action behind each step index.
+//
+// The timeline engine simulates one representative GPU lane plus the
+// shared per-machine resources, and machines are symmetric by
+// construction (§4.3), so the lane's spans are emitted once per machine
+// rank: the exported trace shows the whole cluster the model describes.
+func (e *Engine) Observe(tr obs.Recorder, mx *obs.Metrics, res *Result, s *strategy.Strategy) error {
+	if len(s.PerTensor) != len(e.M.Tensors) {
+		return fmt.Errorf("timeline: observing with a strategy for %d tensors, model has %d",
+			len(s.PerTensor), len(e.M.Tensors))
+	}
+	if len(res.Ops) == 0 && len(e.M.Tensors) > 0 {
+		return fmt.Errorf("timeline: result has no recorded ops; evaluate with RecordOps enabled")
+	}
+	for _, op := range res.Ops {
+		if op.Step >= len(s.PerTensor[op.Tensor].Steps) {
+			return fmt.Errorf("timeline: op step %d out of range for tensor %d", op.Step, op.Tensor)
+		}
+	}
+
+	ranks := e.C.Machines
+	if tr != nil && tr.Enabled() {
+		for _, op := range res.Ops {
+			opt := s.PerTensor[op.Tensor]
+			phase := phaseOf(op, opt)
+			name := fmt.Sprintf("T%d backward", op.Tensor)
+			var bytes int64
+			if op.Step >= 0 {
+				name = fmt.Sprintf("T%d s%d %s", op.Tensor, op.Step, opt.Steps[op.Step])
+			}
+			switch phase {
+			case obs.PhaseCompute, obs.PhaseEncode, obs.PhaseDecode, obs.PhaseOffload:
+				bytes = e.M.Tensors[op.Tensor].Bytes()
+			}
+			for rank := 0; rank < ranks; rank++ {
+				tr.Record(obs.Span{
+					Rank: rank, Device: op.Res.track(), Phase: phase, Name: name,
+					Ready: op.Span.Ready, Start: op.Span.Start, End: op.Span.End,
+					Bytes: bytes,
+				})
+			}
+		}
+	}
+
+	if mx != nil {
+		for _, op := range res.Ops {
+			mx.Histogram("timeline.queue_wait_us."+op.Res.track()).
+				Observe(float64(op.Span.Queued().Microseconds()))
+		}
+		for r := Resource(0); r < numResources; r++ {
+			mx.Gauge("timeline.busy_us." + r.track()).Set(float64(res.ResBusy[r].Microseconds()))
+			if res.Makespan > 0 {
+				mx.Gauge("timeline.utilization." + r.track()).
+					Set(float64(res.ResBusy[r]) / float64(res.Makespan))
+			}
+		}
+		mx.Gauge("timeline.makespan_us").Set(float64(res.Makespan.Microseconds()))
+		mx.Gauge("timeline.iter_us").Set(float64(res.Iter.Microseconds()))
+		mx.Gauge("timeline.ranks").Set(float64(ranks))
+		bubbles := res.TensorsBeforeBubbles()
+		mx.Gauge("timeline.bubble_tensors").Set(float64(len(bubbles)))
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package timeline
+
+import (
+	"testing"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/cost"
+	"espresso/internal/obs"
+	"espresso/internal/strategy"
+)
+
+// cpuCompressed exercises every telemetry phase: backward compute,
+// intra collectives, CPU compression (staging + host pool), a compressed
+// inter collective, and CPU decompression. (The same shape as
+// baselines.InterCompressed on CPU, inlined: baselines imports timeline.)
+func cpuCompressed(c *cluster.Cluster) strategy.Option {
+	return strategy.Option{Hier: true, Steps: []strategy.Step{
+		{Act: strategy.Comm, Routine: strategy.ReduceScatter, Scope: strategy.Intra},
+		{Act: strategy.Comp, Dev: cost.CPU},
+		{Act: strategy.Comm, Routine: strategy.Allgather, Scope: strategy.Inter, Compressed: true},
+		{Act: strategy.Decomp, Dev: cost.CPU},
+		{Act: strategy.Comm, Routine: strategy.Allgather, Scope: strategy.Intra, Second: true},
+	}}
+}
+
+func TestObserveEmitsEveryPhasePerRank(t *testing.T) {
+	c := cluster.NVLinkTestbed(4)
+	m := commBound()
+	e := newEngine(t, m, c, dgc())
+	s := strategy.Uniform(len(m.Tensors), cpuCompressed(c))
+	res, err := e.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	mx := obs.NewMetrics()
+	if err := e.Observe(tr, mx, res, s); err != nil {
+		t.Fatal(err)
+	}
+
+	perRankPhase := map[int]map[obs.Phase]int{}
+	for _, sp := range tr.Spans() {
+		if perRankPhase[sp.Rank] == nil {
+			perRankPhase[sp.Rank] = map[obs.Phase]int{}
+		}
+		perRankPhase[sp.Rank][sp.Phase]++
+	}
+	if len(perRankPhase) != c.Machines {
+		t.Fatalf("trace covers %d ranks, want %d", len(perRankPhase), c.Machines)
+	}
+	wantPhases := []obs.Phase{obs.PhaseCompute, obs.PhaseEncode, obs.PhaseDecode,
+		obs.PhaseOffload, obs.PhaseIntra, obs.PhaseInter}
+	for rank, phases := range perRankPhase {
+		for _, p := range wantPhases {
+			if phases[p] == 0 {
+				t.Errorf("rank %d has no %v span", rank, p)
+			}
+		}
+	}
+}
+
+// The exported spans must re-derive the result's accounting: per rank,
+// the per-device span durations sum to the resource's busy time, spans on
+// one device never overlap, and the last span ends at the makespan.
+func TestObserveConsistentWithResult(t *testing.T) {
+	c := cluster.NVLinkTestbed(4)
+	m := commBound()
+	e := newEngine(t, m, c, dgc())
+	s := strategy.Uniform(len(m.Tensors), cpuCompressed(c))
+	res, err := e.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	if err := e.Observe(tr, nil, res, s); err != nil {
+		t.Fatal(err)
+	}
+
+	type track struct {
+		rank   int
+		device string
+	}
+	busy := map[track]time.Duration{}
+	last := map[track]time.Duration{}
+	var maxEnd time.Duration
+	for _, sp := range tr.Spans() {
+		k := track{sp.Rank, sp.Device}
+		busy[k] += sp.Dur()
+		if sp.Start < last[k] {
+			t.Fatalf("overlapping spans on rank %d %s: start %v before previous end %v",
+				sp.Rank, sp.Device, sp.Start, last[k])
+		}
+		last[k] = sp.End
+		if sp.End > maxEnd {
+			maxEnd = sp.End
+		}
+	}
+	for rank := 0; rank < c.Machines; rank++ {
+		for r := Resource(0); r < numResources; r++ {
+			k := track{rank, r.String()}
+			if busy[k] != res.ResBusy[r] {
+				t.Errorf("rank %d %s: span durations sum to %v, ResBusy %v", rank, r, busy[k], res.ResBusy[r])
+			}
+		}
+	}
+	if maxEnd != res.Makespan {
+		t.Errorf("last span ends at %v, makespan %v", maxEnd, res.Makespan)
+	}
+	if res.Iter != m.Forward+res.Makespan {
+		t.Errorf("iter %v != forward %v + makespan %v", res.Iter, m.Forward, res.Makespan)
+	}
+}
+
+func TestObserveMetrics(t *testing.T) {
+	c := cluster.NVLinkTestbed(2)
+	m := commBound()
+	e := newEngine(t, m, c, dgc())
+	s := fp32Strategy(m, c)
+	res, err := e.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := obs.NewMetrics()
+	if err := e.Observe(nil, mx, res, s); err != nil {
+		t.Fatal(err)
+	}
+	snap := mx.Snapshot()
+	if got := snap.Gauges["timeline.iter_us"]; got != float64(res.Iter.Microseconds()) {
+		t.Errorf("iter_us = %v, want %v", got, res.Iter.Microseconds())
+	}
+	if got := snap.Gauges["timeline.busy_us.gpu"]; got != float64(res.ResBusy[ResGPU].Microseconds()) {
+		t.Errorf("busy_us.gpu = %v, want %v", got, res.ResBusy[ResGPU].Microseconds())
+	}
+	h, ok := snap.Histograms["timeline.queue_wait_us.intra"]
+	if !ok || h.Count == 0 {
+		t.Error("no intra queue-wait observations")
+	}
+	if snap.Gauges["timeline.ranks"] != float64(c.Machines) {
+		t.Errorf("ranks gauge = %v, want %d", snap.Gauges["timeline.ranks"], c.Machines)
+	}
+}
+
+func TestObserveRejectsMismatchedStrategy(t *testing.T) {
+	c := cluster.NVLinkTestbed(2)
+	m := commBound()
+	e := newEngine(t, m, c, dgc())
+	s := fp32Strategy(m, c)
+	res, err := e.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &strategy.Strategy{PerTensor: s.PerTensor[:1]}
+	if err := e.Observe(obs.NewTrace(), nil, res, short); err == nil {
+		t.Error("mismatched strategy accepted")
+	}
+
+	e.RecordOps = false
+	bare, err := e.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Observe(obs.NewTrace(), nil, bare, s); err == nil {
+		t.Error("result without recorded ops accepted")
+	}
+}
