@@ -50,6 +50,27 @@ func BenchmarkTable5SelectionTime(b *testing.B) {
 	}
 }
 
+// BenchmarkTable5SelectionTimeParallel is Table 5 with the strategy
+// searches fanned out over one worker per CPU. Compare against
+// BenchmarkTable5SelectionTime for the parallel-search speedup; the
+// rendered rows are identical by construction.
+func BenchmarkTable5SelectionTimeParallel(b *testing.B) {
+	experiments.SetParallelism(0)
+	defer experiments.SetParallelism(1)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("workers=%d\n%s", experiments.Parallelism(), experiments.RenderTable5(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.Selection.Seconds()*1000, r.Model+"_select_ms")
+			}
+		}
+	}
+}
+
 func BenchmarkTable6OffloadTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table6()
@@ -192,6 +213,21 @@ func BenchmarkSelectionBERT(b *testing.B) {
 			Model:     ModelSpec{Preset: "bert-base"},
 			Cluster:   ClusterSpec{Preset: "nvlink", Machines: 8},
 			Algorithm: AlgorithmSpec{Name: "randomk", Ratio: 0.01},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectionBERTParallel is the same search with one worker per
+// CPU; the selected strategy is identical to BenchmarkSelectionBERT's.
+func BenchmarkSelectionBERTParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Select(Job{
+			Model:       ModelSpec{Preset: "bert-base"},
+			Cluster:     ClusterSpec{Preset: "nvlink", Machines: 8},
+			Algorithm:   AlgorithmSpec{Name: "randomk", Ratio: 0.01},
+			Parallelism: -1,
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -119,7 +119,9 @@ func renderPanels(panels []*experiments.Throughput, err error) (string, error) {
 
 func main() {
 	exp := flag.String("experiment", "all", "table1|table5|table6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|timelines|traffic|all")
+	parallel := flag.Int("parallel", 1, "worker count for sweeps and strategy searches (0 = one per CPU); results are identical at any setting")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	var names []string
 	if *exp == "all" {

@@ -25,6 +25,7 @@ import (
 	"espresso/internal/model"
 	"espresso/internal/netsim"
 	"espresso/internal/obs"
+	"espresso/internal/par"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -58,6 +59,7 @@ func main() {
 		iters    = flag.Int("iters", 2, "iterations to execute on the data plane")
 		scale    = flag.Int("scale", 4096, "elements per simulated tensor on the data plane")
 		gantt    = flag.Bool("gantt", true, "print the derived timeline")
+		parallel = flag.Int("parallel", 1, "strategy-search workers (0 = one per CPU); the selected strategy is identical at any setting")
 		jobF     = flag.String("job", "", "job-description JSON (overrides -model/-cluster/-machines/-gpus/-algo/-ratio)")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the derived timeline")
 		metrOut  = flag.String("metrics-out", "", "write a metrics-registry JSON file")
@@ -134,6 +136,7 @@ func main() {
 	switch *system {
 	case "espresso":
 		sel := core.NewSelector(m, c, cm)
+		sel.Parallelism = par.Workers(*parallel)
 		sel.Obs = metrics
 		var rep *core.Report
 		s, rep, err = sel.Select()

@@ -36,6 +36,7 @@ import (
 	"espresso/internal/core"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/par"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -101,6 +102,23 @@ type Job struct {
 	Cluster     ClusterSpec   `json:"cluster"`
 	Algorithm   AlgorithmSpec `json:"algorithm"`
 	Constraints Constraints   `json:"constraints,omitempty"`
+
+	// Parallelism is the worker count for the strategy search:
+	// independent F(S) evaluations (seed evaluations, per-tensor
+	// candidate probes) fan out over per-worker timeline engines. 0 or 1
+	// selects the sequential search; values below 0 select one worker
+	// per CPU. The selected strategy is identical at every setting —
+	// parallel ties are broken by candidate index, exactly as the
+	// sequential sweep breaks them.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// workers resolves the job's Parallelism knob: n < 0 means GOMAXPROCS.
+func (j Job) workers() int {
+	if j.Parallelism < 0 {
+		return par.Workers(0)
+	}
+	return j.Parallelism
 }
 
 // resolved holds the internal representations of a Job.
@@ -333,6 +351,7 @@ func Select(job Job) (*Strategy, *Report, error) {
 		return nil, nil, err
 	}
 	sel := core.NewSelector(r.m, r.c, r.cm)
+	sel.Parallelism = job.workers()
 	if err := applyConstraints(sel, job, r); err != nil {
 		return nil, nil, err
 	}

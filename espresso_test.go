@@ -278,3 +278,37 @@ func TestDecisionsAreDescriptive(t *testing.T) {
 		t.Fatal("CompressedCount inconsistent")
 	}
 }
+
+// Job.Parallelism only changes how fast the search runs, never what it
+// returns: 0 (default), an explicit worker count, and -1 (one worker
+// per CPU) must all produce the same strategy and the same report.
+func TestJobParallelismIdenticalResult(t *testing.T) {
+	job := Job{
+		Model:     ModelSpec{Preset: "lstm"},
+		Cluster:   ClusterSpec{Preset: "nvlink", Machines: 4},
+		Algorithm: AlgorithmSpec{Name: "dgc", Ratio: 0.01},
+	}
+	base, baseRep, err := Select(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4, -1} {
+		job.Parallelism = p
+		s, rep, err := Select(job)
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", p, err)
+		}
+		if rep.IterTime != baseRep.IterTime || rep.Evaluations != baseRep.Evaluations {
+			t.Errorf("parallelism=%d: iter/evals %v/%d != default %v/%d",
+				p, rep.IterTime, rep.Evaluations, baseRep.IterTime, baseRep.Evaluations)
+		}
+		if len(s.Decisions) != len(base.Decisions) {
+			t.Fatalf("parallelism=%d: %d decisions != %d", p, len(s.Decisions), len(base.Decisions))
+		}
+		for i := range base.Decisions {
+			if s.Decisions[i] != base.Decisions[i] {
+				t.Errorf("parallelism=%d: decision %d: %+v != %+v", p, i, s.Decisions[i], base.Decisions[i])
+			}
+		}
+	}
+}

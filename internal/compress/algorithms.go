@@ -98,13 +98,7 @@ func (c dgc) Compress(x []float32, seed uint64) *Payload {
 
 	// Sample max(1%, 4k-capped) of the tensor to estimate the
 	// threshold, as the DGC reference implementation does.
-	sampleN := n / 100
-	if sampleN < 64 {
-		sampleN = 64
-	}
-	if sampleN > n {
-		sampleN = n
-	}
+	sampleN := dgcSampleSize(n)
 	sample := make([]float32, sampleN)
 	for i := range sample {
 		v := x[rng.intn(n)]
@@ -143,6 +137,24 @@ func (c dgc) Compress(x []float32, seed uint64) *Payload {
 
 func (c dgc) Decompress(p *Payload, out []float32) error {
 	return scatter(p, out, DGC)
+}
+
+// dgcSampleSize is DGC's threshold-estimation budget: 1% of the tensor,
+// floored at 64 samples and capped at 4096 (the reference
+// implementation's cap — without it, large tensors pay O(n/100)
+// sampling), clamped to the tensor size.
+func dgcSampleSize(n int) int {
+	s := n / 100
+	if s < 64 {
+		s = 64
+	}
+	if s > 4096 {
+		s = 4096
+	}
+	if s > n {
+		s = n
+	}
+	return s
 }
 
 func (c dgc) WireBytes(n int) int {

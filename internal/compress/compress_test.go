@@ -534,3 +534,44 @@ func TestDecodeNeverPanics(t *testing.T) {
 		}()
 	}
 }
+
+// DGC's threshold-estimation sample is 1% of the tensor, floored at 64
+// so small tensors stay accurate and capped at 4096 so huge tensors
+// don't pay an O(n) sort for a threshold estimate (the cap used to be
+// missing), and never larger than the tensor itself.
+func TestDGCSampleSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{50, 50},        // tiny tensor: clamp to n
+		{1000, 64},      // 1% would be 10 → floor at 64
+		{6400, 64},      // exactly the floor
+		{20000, 200},    // plain 1%
+		{409600, 4096},  // exactly the cap
+		{1 << 24, 4096}, // huge tensor → cap, not 167772
+	}
+	for _, tc := range cases {
+		if got := dgcSampleSize(tc.n); got != tc.want {
+			t.Errorf("dgcSampleSize(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// The sample cap must not disturb wire determinism: same input, same
+// selection, bit-identical wire bytes across calls.
+func TestDGCSampleCapDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randVec(rng, 1<<20) // large enough to hit the 4096 cap
+	c, err := New(Spec{ID: DGC, Ratio: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Encode(c.Compress(x, 3))
+	b := Encode(c.Compress(x, 3))
+	if len(a) != len(b) {
+		t.Fatalf("wire sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wire byte %d differs", i)
+		}
+	}
+}

@@ -51,7 +51,9 @@ type Report struct {
 }
 
 // Selector selects compression strategies for one (model, cluster, GC)
-// configuration. Not safe for concurrent use.
+// configuration. A Selector's methods must not be called concurrently,
+// but with Parallelism > 1 each call internally fans its independent
+// F(S) evaluations out over a pool of per-worker timeline engines.
 type Selector struct {
 	M    *model.Model
 	C    *cluster.Cluster
@@ -64,12 +66,21 @@ type Selector struct {
 	// sweeps tensors in backward index order instead; ablation only.
 	NaiveOrder bool
 
+	// Parallelism is the worker count for independent F(S) evaluations:
+	// seed evaluations, the per-tensor candidate probes of Algorithm 1's
+	// sweep, and brute-force validation shards. Values <= 1 select the
+	// sequential search. The result is bit-identical at every setting —
+	// ties are broken by candidate index, exactly as the sequential
+	// sweep breaks them.
+	Parallelism int
+
 	// Obs, when non-nil, receives the search statistics of each Select
 	// call (candidates examined, evaluations, pruning, offload space) as
 	// search.* counters and gauges.
 	Obs *obs.Metrics
 
 	eng        *timeline.Engine
+	pool       []*timeline.Engine // lazily grown worker engines; pool[0] == eng
 	candidates []strategy.Option
 	devices    []cost.Device
 
@@ -152,7 +163,6 @@ func (sel *Selector) Select() (*strategy.Strategy, *Report, error) {
 		}
 	}
 	rep.OffloadTime = time.Since(offStart)
-	rep.SelectionTime = time.Since(start)
 
 	rep.Compressed = s.CompressedCount()
 	iter, err := sel.iter(s, rep)
@@ -160,6 +170,10 @@ func (sel *Selector) Select() (*strategy.Strategy, *Report, error) {
 		return nil, nil, err
 	}
 	rep.Iter = iter
+	// SelectionTime is stamped last so the wall clock covers every
+	// evaluation counted in rep.Evals — including this final one — and
+	// Alg1Time + OffloadTime <= SelectionTime always holds.
+	rep.SelectionTime = time.Since(start)
 	sel.publish(rep)
 	return s, rep, nil
 }
@@ -360,19 +374,8 @@ func (sel *Selector) bestSeed(rep *Report) (*strategy.Strategy, error) {
 	}
 	seeds = append(seeds, myopic)
 
-	var best *strategy.Strategy
-	bestIter := time.Duration(-1)
-	for _, s := range seeds {
-		iter, err := sel.iter(s, rep)
-		if err != nil {
-			return nil, err
-		}
-		if bestIter < 0 || iter < bestIter {
-			bestIter = iter
-			best = s
-		}
-	}
-	return best, nil
+	best, _, err := sel.bestOf(seeds, rep)
+	return best, err
 }
 
 // SelectAllCompressed is the "All compression" cripple of §5.3: Dimension
@@ -386,25 +389,23 @@ func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) 
 			compressed = append(compressed, o)
 		}
 	}
+	if len(compressed) == 0 {
+		return nil, nil, fmt.Errorf("core: SelectAllCompressed needs at least one compressed candidate option (candidate set has %d options, none compressed)", len(sel.candidates))
+	}
 	saved := sel.candidates
 	sel.SetCandidates(compressed)
 	defer sel.SetCandidates(saved)
 
 	n := len(sel.M.Tensors)
-	var seed *strategy.Strategy
-	bestIter := time.Duration(-1)
+	var seeds []*strategy.Strategy
 	for _, o := range compressed {
 		for _, dev := range sel.devices {
-			s := strategy.Uniform(n, o.WithDevice(dev))
-			iter, err := sel.iter(s, rep)
-			if err != nil {
-				return nil, nil, err
-			}
-			if bestIter < 0 || iter < bestIter {
-				bestIter = iter
-				seed = s
-			}
+			seeds = append(seeds, strategy.Uniform(n, o.WithDevice(dev)))
 		}
+	}
+	seed, _, err := sel.bestOf(seeds, rep)
+	if err != nil {
+		return nil, nil, err
 	}
 	s, err := sel.sweepFrom(seed, rep)
 	if err != nil {
@@ -460,7 +461,13 @@ func (sel *Selector) MyopicStrategy() (*strategy.Strategy, error) {
 	return s, nil
 }
 
-// sweepFrom runs Algorithm 1's greedy sweeps starting from seed.
+// sweepFrom runs Algorithm 1's greedy sweeps starting from seed. All
+// candidate probes for one position share the same fixed remainder of
+// the strategy, so they are embarrassingly parallel; with
+// Parallelism > 1 they fan out over the engine pool, and the winner is
+// the lowest-index candidate achieving the minimal F(S) — exactly the
+// candidate the sequential first-strict-improvement scan keeps, so the
+// result is bit-identical to the sequential sweep.
 func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Strategy, error) {
 	removed := make(map[int]bool)
 	if err := sel.removeBeforeBubbles(s, removed, rep); err != nil {
@@ -476,6 +483,18 @@ func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Str
 	rep.Evals++
 	best := base.Iter
 
+	// Load the current strategy into every worker engine; from here on
+	// the pool is kept in lockstep by re-applying each position's
+	// decision to every engine.
+	engines := sel.engines()
+	for _, eng := range engines[1:] {
+		if err := eng.Prepare(s); err != nil {
+			return nil, err
+		}
+	}
+
+	var probes []strategy.Option
+	var iters []time.Duration
 	order := sel.order()
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		changed := false
@@ -483,33 +502,41 @@ func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Str
 			if removed[idx] {
 				continue
 			}
-			bestOpt := s.PerTensor[idx]
-			improved := false
+			cur := s.PerTensor[idx]
 			cands, err := sel.candidatesFor(idx)
 			if err != nil {
 				return nil, err
 			}
+			probes = probes[:0]
 			for _, cand := range cands {
-				if cand.Equal(bestOpt) {
-					continue
+				if !cand.Equal(cur) {
+					probes = append(probes, cand)
 				}
-				if err := sel.eng.SetOption(idx, cand); err != nil {
-					return nil, err
-				}
-				r, err := sel.eng.Run()
-				if err != nil {
-					return nil, err
-				}
-				rep.Evals++
-				if r.Iter < best {
-					best = r.Iter
-					bestOpt = cand
+			}
+			if cap(iters) < len(probes) {
+				iters = make([]time.Duration, len(probes))
+			}
+			iters = iters[:len(probes)]
+			if err := sel.probePosition(engines, idx, probes, iters); err != nil {
+				return nil, err
+			}
+			rep.Evals += len(probes)
+
+			bestOpt, improved := cur, false
+			for i, it := range iters {
+				if it < best {
+					best = it
+					bestOpt = probes[i]
 					improved = true
 				}
 			}
 			s.PerTensor[idx] = bestOpt
-			if err := sel.eng.SetOption(idx, bestOpt); err != nil {
-				return nil, err
+			// Re-apply the decision everywhere: each engine is left with
+			// whatever candidate it probed last.
+			for _, eng := range engines {
+				if err := eng.SetOption(idx, bestOpt); err != nil {
+					return nil, err
+				}
 			}
 			// New bubbles can appear once this tensor's communication
 			// shrinks; rule out tensors newly before bubbles (line 8).
@@ -560,55 +587,11 @@ func ScalingFactor(m *model.Model, c *cluster.Cluster, iter time.Duration) float
 
 // BruteForce exhaustively searches options^tensors and returns the
 // optimal strategy and its iteration time. Only feasible for tiny models;
-// it exists to validate the greedy selection's near-optimality.
+// it exists to validate the greedy selection's near-optimality. It is
+// BruteForceParallel on a single shard; pass a parallelism to split the
+// odometer space across workers.
 func BruteForce(m *model.Model, c *cluster.Cluster, cm *cost.Models, options []strategy.Option) (*strategy.Strategy, time.Duration, error) {
-	n := len(m.Tensors)
-	size := 1
-	for i := 0; i < n; i++ {
-		size *= len(options)
-		if size > 1_000_000 {
-			return nil, 0, fmt.Errorf("core: brute force space too large (%d^%d)", len(options), n)
-		}
-	}
-	eng := timeline.New(m, c, cm)
-	eng.RecordOps = false
-
-	assign := make([]int, n)
-	s := strategy.Uniform(n, options[0])
-	if err := eng.Prepare(s); err != nil {
-		return nil, 0, err
-	}
-	bestIter := time.Duration(-1)
-	var best *strategy.Strategy
-	for {
-		r, err := eng.Run()
-		if err != nil {
-			return nil, 0, err
-		}
-		if bestIter < 0 || r.Iter < bestIter {
-			bestIter = r.Iter
-			best = s.Clone()
-		}
-		// Odometer increment.
-		i := 0
-		for ; i < n; i++ {
-			assign[i]++
-			if assign[i] < len(options) {
-				break
-			}
-			assign[i] = 0
-		}
-		if i == n {
-			break
-		}
-		for j := 0; j <= i; j++ {
-			s.PerTensor[j] = options[assign[j]]
-			if err := eng.SetOption(j, options[assign[j]]); err != nil {
-				return nil, 0, err
-			}
-		}
-	}
-	return best, bestIter, nil
+	return BruteForceParallel(m, c, cm, options, 1)
 }
 
 // BruteForceSpaceLog10 reports log10 of how many strategies a brute-force

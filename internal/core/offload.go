@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -72,12 +73,16 @@ func (sel *Selector) OffloadCPU(s *strategy.Strategy, rep *Report) (*strategy.St
 		return nil, err
 	}
 
+	// Report the true Algorithm 2 space, prod(|G_i|+1) — Table 6
+	// consumes this — saturating instead of overflowing; the cap only
+	// decides exact-vs-greedy below.
 	space := 1
 	for _, g := range groups {
-		space *= len(g) + 1
-		if space > MaxOffloadSearch {
+		if space > math.MaxInt/(len(g)+1) {
+			space = math.MaxInt
 			break
 		}
+		space *= len(g) + 1
 	}
 	rep.OffloadSearch = space
 	var searched *strategy.Strategy

@@ -9,6 +9,7 @@ import (
 	"espresso/internal/core"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/par"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -37,13 +38,14 @@ const (
 
 // runMechanism selects a strategy under one crippled mechanism and
 // returns its iteration-time scaling factor.
-func runMechanism(mech fig15Mechanism, m *model.Model, tb Testbed, spec compress.Spec) (float64, error) {
+func runMechanism(mech fig15Mechanism, m *model.Model, tb Testbed, spec compress.Spec, workers int) (float64, error) {
 	c := tb.Make(8)
 	cm, err := cost.NewModels(c, spec)
 	if err != nil {
 		return 0, err
 	}
 	sel := core.NewSelector(m, c, cm)
+	sel.Parallelism = workers
 
 	var s *strategy.Strategy
 	switch mech {
@@ -110,15 +112,33 @@ func Fig15() ([]Fig15Row, error) {
 		{"(c) restrict dim 3", NVLink, SpecDGC, []fig15Mechanism{mechInterAllgather, mechInterAlltoall, mechEspresso}},
 		{"(d) restrict dim 4", PCIe, SpecEFSignSGD, []fig15Mechanism{mechInterAlltoall, mechA2AA2A, mechEspresso}},
 	}
-	var rows []Fig15Row
+	// Flatten the (panel, mechanism) cells — each is an independent
+	// selection — and fan them out over the package's worker budget.
+	type cell struct {
+		panel string
+		tb    Testbed
+		spec  compress.Spec
+		mech  fig15Mechanism
+	}
+	var cells []cell
 	for _, p := range panels {
 		for _, mech := range p.mechs {
-			sf, err := runMechanism(mech, m.Clone(), p.tb, p.spec)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", p.panel, mech, err)
-			}
-			rows = append(rows, Fig15Row{Panel: p.panel, Mechanism: string(mech), SF: sf})
+			cells = append(cells, cell{p.panel, p.tb, p.spec, mech})
 		}
+	}
+	rows := make([]Fig15Row, len(cells))
+	outer, inner := cellWorkers()
+	err := par.Each(len(cells), outer, func(_, i int) error {
+		cl := cells[i]
+		sf, err := runMechanism(cl.mech, m.Clone(), cl.tb, cl.spec, inner)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", cl.panel, cl.mech, err)
+		}
+		rows[i] = Fig15Row{Panel: cl.panel, Mechanism: string(cl.mech), SF: sf}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

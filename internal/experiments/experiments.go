@@ -67,11 +67,20 @@ var (
 	SpecEFSignSGD = compress.Spec{ID: compress.EFSignSGD}
 )
 
-// IterTime evaluates the iteration time of sys for the given job.
+// IterTime evaluates the iteration time of sys for the given job. An
+// Espresso selection uses the package's parallelism budget.
 func IterTime(sys System, m *model.Model, c *cluster.Cluster, cm *cost.Models) (time.Duration, error) {
+	return iterTimeWorkers(sys, m, c, cm, parallelism)
+}
+
+// iterTimeWorkers is IterTime with an explicit selection worker count —
+// the figure sweeps pass 1 here because they parallelize across cells
+// instead.
+func iterTimeWorkers(sys System, m *model.Model, c *cluster.Cluster, cm *cost.Models, workers int) (time.Duration, error) {
 	switch sys {
 	case SysEspresso:
 		sel := core.NewSelector(m, c, cm)
+		sel.Parallelism = workers
 		_, rep, err := sel.Select()
 		if err != nil {
 			return 0, err

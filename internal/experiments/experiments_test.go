@@ -302,3 +302,39 @@ func TestTrafficSavings(t *testing.T) {
 	}
 	t.Logf("\n%s", RenderTraffic(rows))
 }
+
+// SetParallelism fans sweep cells and strategy searches across workers;
+// every figure and table must come out identical to the sequential run.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	defer SetParallelism(1)
+
+	combo := Combo{model.LSTM(), SpecDGC}
+	SetParallelism(1)
+	seq, err := ThroughputSweep(combo, NVLink, []int{2, 4}, Systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	if got := Parallelism(); got != 4 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(4)", got)
+	}
+	par, err := ThroughputSweep(combo, NVLink, []int{2, 4}, Systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Series) != len(seq.Series) {
+		t.Fatalf("series count %d != %d", len(par.Series), len(seq.Series))
+	}
+	for sys, want := range seq.Series {
+		got := par.Series[sys]
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d points != %d", sys, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v at %d GPUs: parallel %.3f != sequential %.3f",
+					sys, par.GPUs[i], got[i], want[i])
+			}
+		}
+	}
+}

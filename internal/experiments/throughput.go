@@ -5,9 +5,11 @@ import (
 	"sort"
 	"strings"
 
+	"espresso/internal/cluster"
 	"espresso/internal/core"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/par"
 )
 
 // Throughput is one panel of Figures 12/13: training throughput of every
@@ -24,7 +26,9 @@ type Throughput struct {
 }
 
 // ThroughputSweep measures every system for one combo across machine
-// counts on a testbed.
+// counts on a testbed. The (machines, system) cells are independent, so
+// they fan out over the package's worker budget; results land in a
+// preallocated grid, keeping the output identical to a sequential run.
 func ThroughputSweep(combo Combo, tb Testbed, machineCounts []int, systems []System) (*Throughput, error) {
 	out := &Throughput{
 		Combo:   combo.String(),
@@ -32,20 +36,35 @@ func ThroughputSweep(combo Combo, tb Testbed, machineCounts []int, systems []Sys
 		Series:  make(map[System][]float64),
 		Unit:    combo.Model.BatchUnit + "/s",
 	}
-	for _, machines := range machineCounts {
+	clusters := make([]*cluster.Cluster, len(machineCounts))
+	models := make([]*cost.Models, len(machineCounts))
+	for i, machines := range machineCounts {
 		c := tb.Make(machines)
+		clusters[i] = c
 		out.GPUs = append(out.GPUs, c.TotalGPUs())
 		cm, err := cost.NewModels(c, combo.Spec)
 		if err != nil {
 			return nil, err
 		}
-		for _, sys := range systems {
-			iter, err := IterTime(sys, combo.Model, c, cm)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s (%v): %w", combo, tb.Name, sys, err)
-			}
-			out.Series[sys] = append(out.Series[sys], core.Throughput(combo.Model, c, iter))
+		models[i] = cm
+	}
+	for _, sys := range systems {
+		out.Series[sys] = make([]float64, len(machineCounts))
+	}
+	outer, inner := cellWorkers()
+	cells := len(machineCounts) * len(systems)
+	err := par.Each(cells, outer, func(_, cell int) error {
+		mi, sys := cell/len(systems), systems[cell%len(systems)]
+		c := clusters[mi]
+		iter, err := iterTimeWorkers(sys, combo.Model, c, models[mi], inner)
+		if err != nil {
+			return fmt.Errorf("%s on %s (%v): %w", combo, tb.Name, sys, err)
 		}
+		out.Series[sys][mi] = core.Throughput(combo.Model, c, iter)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -128,33 +147,41 @@ func Fig14(tb Testbed) ([]Fig14Point, error) {
 }
 
 // Fig14For computes the Figure 14 points for a chosen subset of combos
-// (tests use a reduced matrix; the bench harness runs all 18).
+// (tests use a reduced matrix; the bench harness runs all 18). Combos
+// are independent, so they fan out over the package's worker budget
+// into a preallocated grid — output order matches the sequential sweep.
 func Fig14For(tb Testbed, combos []Combo) ([]Fig14Point, error) {
 	systems := []System{SysBytePSCompress, SysHiTopKComm, SysHiPress, SysEspresso}
-	var pts []Fig14Point
-	for _, combo := range combos {
+	pts := make([]Fig14Point, len(combos)*len(systems))
+	outer, inner := cellWorkers()
+	err := par.Each(len(combos), outer, func(_, ci int) error {
+		combo := combos[ci]
 		c := tb.Make(8)
 		cm, err := cost.NewModels(c, combo.Spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ub, err := IterTime(SysUpperBound, combo.Model, c, cm)
+		ub, err := iterTimeWorkers(SysUpperBound, combo.Model, c, cm, inner)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ubTh := core.Throughput(combo.Model, c, ub)
-		for _, sys := range systems {
-			iter, err := IterTime(sys, combo.Model, c, cm)
+		for si, sys := range systems {
+			iter, err := iterTimeWorkers(sys, combo.Model, c, cm, inner)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			th := core.Throughput(combo.Model, c, iter)
-			pts = append(pts, Fig14Point{
+			pts[ci*len(systems)+si] = Fig14Point{
 				Combo:   combo.String(),
 				System:  sys,
 				DiffPct: 100 * (ubTh - th) / ubTh,
-			})
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pts, nil
 }

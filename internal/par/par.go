@@ -1,0 +1,66 @@
+// Package par provides the small bounded worker pool that the strategy
+// search and the experiment sweeps fan out on. The module is
+// dependency-free by design, so this stands in for errgroup-style
+// helpers: a fixed number of workers drain an indexed task list, and
+// the lowest-index error (a deterministic choice) is reported.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism knob: values below 1 request the
+// automatic setting, GOMAXPROCS.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Each runs task(worker, i) for every i in [0, n) on at most `workers`
+// goroutines; worker identifies the goroutine (0 <= worker < workers),
+// so callers can hand each worker exclusive scratch state (for example
+// a per-worker timeline engine). With workers <= 1 the tasks run inline
+// on the calling goroutine in index order, stopping at the first error.
+// In parallel mode every task runs regardless of other tasks' errors,
+// and the error with the lowest index is returned, which keeps the
+// reported failure independent of goroutine scheduling.
+func Each(n, workers int, task func(worker, i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = task(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

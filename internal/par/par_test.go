@@ -1,0 +1,76 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEachRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		var ran [100]atomic.Int32
+		if err := Each(n, workers, func(worker, i int) error {
+			if worker < 0 || worker >= workers {
+				return fmt.Errorf("worker id %d out of range", worker)
+			}
+			ran[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestEachReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := Each(50, 8, func(_, i int) error {
+		switch i {
+		case 7:
+			return errLow
+		case 33:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestEachSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	count := 0
+	err := Each(10, 1, func(_, i int) error {
+		count++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || count != 4 {
+		t.Fatalf("err=%v count=%d, want inline stop at task 3", err, count)
+	}
+}
+
+func TestEachZeroTasks(t *testing.T) {
+	if err := Each(0, 4, func(_, _ int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+}

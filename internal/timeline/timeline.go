@@ -162,6 +162,27 @@ func New(m *model.Model, c *cluster.Cluster, cm *cost.Models) *Engine {
 	return &Engine{M: m, C: c, Cost: cm, RecordOps: true}
 }
 
+// Clone returns an independent engine for the same (model, cluster, GC)
+// configuration, carrying the configuration flags and a deep copy of any
+// prepared per-tensor pipelines. The model, cluster, and cost models are
+// shared read-only, so a clone may Run concurrently with the original
+// and with other clones — the engine-pool pattern the parallel strategy
+// search uses for independent F(S) evaluations.
+func (e *Engine) Clone() *Engine {
+	out := &Engine{
+		M: e.M, C: e.C, Cost: e.Cost,
+		ZeroCompression: e.ZeroCompression,
+		RecordOps:       e.RecordOps,
+	}
+	if len(e.chains) > 0 {
+		out.chains = make([][]jobSpec, len(e.chains))
+		for i, ch := range e.chains {
+			out.chains[i] = append([]jobSpec(nil), ch...)
+		}
+	}
+	return out
+}
+
 // prio orders jobs on shared resources: all work of tensor i precedes
 // work of tensor j>i, and within a tensor the backward kernel precedes
 // pipeline steps. stepSlot 0 is backward, 1+s is option step s.

@@ -67,6 +67,7 @@ func SelectTraced(job Job, tel *Telemetry) (*Strategy, *Report, error) {
 		return nil, nil, err
 	}
 	sel := core.NewSelector(r.m, r.c, r.cm)
+	sel.Parallelism = job.workers()
 	sel.Obs = tel.metrics
 	if err := applyConstraints(sel, job, r); err != nil {
 		return nil, nil, err
