@@ -120,8 +120,35 @@ func renderPanels(panels []*experiments.Throughput, err error) (string, error) {
 func main() {
 	exp := flag.String("experiment", "all", "table1|table5|table6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|timelines|traffic|all")
 	parallel := flag.Int("parallel", 1, "worker count for sweeps and strategy searches (0 = one per CPU); results are identical at any setting")
+	jsonOut := flag.String("json-out", "", "write a machine-readable benchmark summary (selection effort and speedup vs FP32 per model) to this path and skip the experiments")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+
+	if *jsonOut != "" {
+		start := time.Now()
+		sum, err := experiments.Summary()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espresso-bench: summary: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espresso-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sum.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espresso-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote benchmark summary (%d models, %v) to %s\n",
+			len(sum.Models), time.Since(start).Round(time.Millisecond), *jsonOut)
+		return
+	}
 
 	var names []string
 	if *exp == "all" {

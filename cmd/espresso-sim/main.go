@@ -25,6 +25,7 @@ import (
 	"espresso/internal/model"
 	"espresso/internal/netsim"
 	"espresso/internal/obs"
+	"espresso/internal/obs/analyze"
 	"espresso/internal/par"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
@@ -49,20 +50,22 @@ type jobConfig struct {
 
 func main() {
 	var (
-		modelF   = flag.String("model", "lstm", "model preset")
-		clusterF = flag.String("cluster", "nvlink", "cluster preset (nvlink, pcie)")
-		machines = flag.Int("machines", 2, "GPU machines")
-		gpus     = flag.Int("gpus", 2, "GPUs per machine (kept small: the data plane moves real bytes)")
-		algo     = flag.String("algo", "dgc", "GC algorithm")
-		ratio    = flag.Float64("ratio", 0.01, "sparsifier ratio")
-		system   = flag.String("system", "espresso", "espresso|fp32|hipress|hitopkcomm|bytepscompress")
-		iters    = flag.Int("iters", 2, "iterations to execute on the data plane")
-		scale    = flag.Int("scale", 4096, "elements per simulated tensor on the data plane")
-		gantt    = flag.Bool("gantt", true, "print the derived timeline")
-		parallel = flag.Int("parallel", 1, "strategy-search workers (0 = one per CPU); the selected strategy is identical at any setting")
-		jobF     = flag.String("job", "", "job-description JSON (overrides -model/-cluster/-machines/-gpus/-algo/-ratio)")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the derived timeline")
-		metrOut  = flag.String("metrics-out", "", "write a metrics-registry JSON file")
+		modelF     = flag.String("model", "lstm", "model preset")
+		clusterF   = flag.String("cluster", "nvlink", "cluster preset (nvlink, pcie)")
+		machines   = flag.Int("machines", 2, "GPU machines")
+		gpus       = flag.Int("gpus", 2, "GPUs per machine (kept small: the data plane moves real bytes)")
+		algo       = flag.String("algo", "dgc", "GC algorithm")
+		ratio      = flag.Float64("ratio", 0.01, "sparsifier ratio")
+		system     = flag.String("system", "espresso", "espresso|fp32|hipress|hitopkcomm|bytepscompress")
+		iters      = flag.Int("iters", 2, "iterations to execute on the data plane")
+		scale      = flag.Int("scale", 4096, "elements per simulated tensor on the data plane")
+		gantt      = flag.Bool("gantt", true, "print the derived timeline")
+		parallel   = flag.Int("parallel", 1, "strategy-search workers (0 = one per CPU); the selected strategy is identical at any setting")
+		jobF       = flag.String("job", "", "job-description JSON (overrides -model/-cluster/-machines/-gpus/-algo/-ratio)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the derived timeline")
+		metrOut    = flag.String("metrics-out", "", "write a metrics-registry JSON file")
+		explain    = flag.Bool("explain", false, "print the selector's per-tensor decision log (espresso system only)")
+		analyzeOut = flag.String("analyze-out", "", "write an iteration-profile JSON (critical path, device stats, phase breakdown)")
 	)
 	flag.Parse()
 
@@ -119,12 +122,14 @@ func main() {
 		fatal(err)
 	}
 
-	// Telemetry sinks, active when either output flag is set.
+	// Telemetry sinks, active when either output flag is set. The
+	// analyzer consumes the span stream too, so -analyze-out implies a
+	// trace.
 	var (
 		trace   *obs.Trace
 		metrics *obs.Metrics
 	)
-	if *traceOut != "" {
+	if *traceOut != "" || *analyzeOut != "" {
 		trace = obs.NewTrace()
 	}
 	if *traceOut != "" || *metrOut != "" {
@@ -138,6 +143,7 @@ func main() {
 		sel := core.NewSelector(m, c, cm)
 		sel.Parallelism = par.Workers(*parallel)
 		sel.Obs = metrics
+		sel.Explain = *explain
 		var rep *core.Report
 		s, rep, err = sel.Select()
 		if err != nil {
@@ -145,6 +151,9 @@ func main() {
 		}
 		fmt.Printf("selected strategy in %v: %d/%d tensors compressed, %d offloaded\n",
 			rep.SelectionTime, rep.Compressed, m.NumTensors(), rep.Offloaded)
+		if len(rep.Decisions) > 0 {
+			core.WriteDecisions(os.Stdout, rep.Decisions)
+		}
 	case "fp32", "hipress", "hitopkcomm", "bytepscompress":
 		sys := map[string]baselines.System{
 			"fp32": baselines.FP32, "hipress": baselines.HiPress,
@@ -169,6 +178,14 @@ func main() {
 		if err := eng.Observe(trace, metrics, res, s); err != nil {
 			fatal(err)
 		}
+	}
+	// Snapshot the engine's spans for the analyzer now: the netsim
+	// cross-check below overlays link spans on the trace that are a
+	// diagnostic, not part of the iteration, and must not enter the
+	// critical path.
+	var analyzeSpans []obs.Span
+	if *analyzeOut != "" {
+		analyzeSpans = trace.Spans()
 	}
 	if metrics != nil {
 		// Message-level cross-check of the closed-form inter-machine cost:
@@ -227,6 +244,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote Chrome trace (%d spans) to %s — open in ui.perfetto.dev\n", trace.Len(), *traceOut)
+	}
+	if *analyzeOut != "" {
+		p, err := analyze.Analyze(analyzeSpans, analyze.Options{Forward: m.Forward, Rank: -1})
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeFile(*analyzeOut, p.WriteJSON); err != nil {
+			fatal(err)
+		}
+		if dom, ok := p.Critical.Dominant(); ok {
+			fmt.Printf("wrote iteration profile to %s — dominant phase %s (%.1f%% of the iteration)\n",
+				*analyzeOut, dom.PhaseS, 100*float64(dom.Total())/float64(p.Iter))
+		} else {
+			fmt.Printf("wrote iteration profile to %s\n", *analyzeOut)
+		}
 	}
 	if *metrOut != "" {
 		tr := x.Traffic()

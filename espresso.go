@@ -111,6 +111,13 @@ type Job struct {
 	// parallel ties are broken by candidate index, exactly as the
 	// sequential sweep breaks them.
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// Explain enables the selection decision log: Report.Decisions gains
+	// one entry per tensor with every candidate's predicted iteration
+	// time against the final strategy, the winner, and its margin over
+	// the runner-up. The extra probes roughly double the evaluation
+	// count of a Select call, so it is opt-in.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // workers resolves the job's Parallelism knob: n < 0 means GOMAXPROCS.
@@ -294,6 +301,71 @@ type Report struct {
 	Evaluations       int           `json:"evaluations,omitempty"`
 	CompressedTensors int           `json:"compressed_tensors,omitempty"`
 	OffloadedTensors  int           `json:"offloaded_tensors,omitempty"`
+
+	// Decisions is the per-tensor decision log, present only when the
+	// job's Explain flag was set.
+	Decisions []TensorChoice `json:"decisions,omitempty"`
+}
+
+// CandidateOutcome is one probed alternative in a decision-log entry:
+// the per-tensor option and the predicted iteration time the job would
+// have if only this tensor switched to it.
+type CandidateOutcome struct {
+	Option   string        `json:"option"`
+	IterTime time.Duration `json:"iter_time"`
+	Chosen   bool          `json:"chosen,omitempty"`
+}
+
+// TensorChoice explains the selector's decision for one tensor: the
+// chosen option, the best alternative, and how much slower the iteration
+// would get under it (the margin).
+type TensorChoice struct {
+	// Tensor is the layer parameter name; Index its backward position.
+	Tensor string `json:"tensor"`
+	Index  int    `json:"index"`
+	// Chosen is the selected option; IterTime is F(S) of the final
+	// strategy (identical across tensors).
+	Chosen   string        `json:"chosen"`
+	IterTime time.Duration `json:"iter_time"`
+	// RunnerUp is the best probed alternative and Margin is how much
+	// the iteration slows if this tensor switches to it. A zero margin
+	// is a tie — common for tensors whose communication hides entirely
+	// inside backward compute.
+	RunnerUp string        `json:"runner_up,omitempty"`
+	Margin   time.Duration `json:"margin"`
+	// RuledOut reports that bubble analysis (Property #1) excluded this
+	// tensor from the compression sweep.
+	RuledOut bool `json:"ruled_out,omitempty"`
+	// Candidates lists every probed option, fastest first.
+	Candidates []CandidateOutcome `json:"candidates,omitempty"`
+}
+
+// choices converts the internal decision log to its public form.
+func choices(decs []core.TensorDecision) []TensorChoice {
+	if len(decs) == 0 {
+		return nil
+	}
+	out := make([]TensorChoice, len(decs))
+	for i, d := range decs {
+		tc := TensorChoice{
+			Tensor:   d.Name,
+			Index:    d.Tensor,
+			Chosen:   d.Chosen.String(),
+			IterTime: d.ChosenIter,
+			Margin:   d.Margin,
+			RuledOut: d.Ruled,
+		}
+		if d.RunnerUpIter > 0 {
+			tc.RunnerUp = d.RunnerUp.String()
+		}
+		for _, c := range d.Candidates {
+			tc.Candidates = append(tc.Candidates, CandidateOutcome{
+				Option: c.Option.String(), IterTime: c.Iter, Chosen: c.Chosen,
+			})
+		}
+		out[i] = tc
+	}
+	return out
 }
 
 func wrapStrategy(s *strategy.Strategy, m *model.Model) *Strategy {
@@ -352,6 +424,7 @@ func Select(job Job) (*Strategy, *Report, error) {
 	}
 	sel := core.NewSelector(r.m, r.c, r.cm)
 	sel.Parallelism = job.workers()
+	sel.Explain = job.Explain
 	if err := applyConstraints(sel, job, r); err != nil {
 		return nil, nil, err
 	}
@@ -364,6 +437,7 @@ func Select(job Job) (*Strategy, *Report, error) {
 	out.Evaluations = rep.Evals
 	out.CompressedTensors = rep.Compressed
 	out.OffloadedTensors = rep.Offloaded
+	out.Decisions = choices(rep.Decisions)
 	return wrapStrategy(s, r.m), out, nil
 }
 

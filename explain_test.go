@@ -1,0 +1,93 @@
+package espresso
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func lstmJob() Job {
+	return Job{
+		Model:     ModelSpec{Preset: "lstm"},
+		Cluster:   ClusterSpec{Preset: "nvlink", Machines: 2},
+		Algorithm: AlgorithmSpec{Name: "dgc", Ratio: 0.01},
+	}
+}
+
+func TestSelectExplainDecisionLog(t *testing.T) {
+	job := lstmJob()
+	job.Explain = true
+	s, rep, err := Select(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decisions) != len(s.Decisions) {
+		t.Fatalf("decision log covers %d tensors, strategy has %d", len(rep.Decisions), len(s.Decisions))
+	}
+	for i, d := range rep.Decisions {
+		if d.Tensor != s.Decisions[i].Tensor {
+			t.Errorf("entry %d names %q, strategy decision %d is %q", i, d.Tensor, i, s.Decisions[i].Tensor)
+		}
+		if d.Chosen != s.Decisions[i].Option {
+			t.Errorf("tensor %q: log chose %q, strategy applied %q", d.Tensor, d.Chosen, s.Decisions[i].Option)
+		}
+		if d.IterTime != rep.IterTime {
+			t.Errorf("tensor %q: logged iter %v, report predicts %v", d.Tensor, d.IterTime, rep.IterTime)
+		}
+		if d.Margin < 0 {
+			t.Errorf("tensor %q: negative margin %v", d.Tensor, d.Margin)
+		}
+		if len(d.Candidates) == 0 {
+			t.Errorf("tensor %q: no candidates probed", d.Tensor)
+		}
+	}
+	// The log must survive the JSON surface: Report is part of the
+	// public machine-readable API.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Decisions) != len(rep.Decisions) {
+		t.Fatalf("JSON round-trip lost decisions: %d vs %d", len(back.Decisions), len(rep.Decisions))
+	}
+}
+
+func TestSelectWithoutExplainOmitsDecisions(t *testing.T) {
+	_, rep, err := Select(lstmJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decisions != nil {
+		t.Fatalf("decision log present without Explain: %d entries", len(rep.Decisions))
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["decisions"]; ok {
+		t.Error("decisions key serialized despite being absent")
+	}
+}
+
+func TestSelectTracedCarriesDecisions(t *testing.T) {
+	job := lstmJob()
+	job.Explain = true
+	tel := NewTelemetry()
+	_, rep, err := SelectTraced(job, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decisions) == 0 {
+		t.Fatal("SelectTraced dropped the decision log")
+	}
+	if tel.SpanCount() == 0 {
+		t.Fatal("telemetry collected no spans")
+	}
+}

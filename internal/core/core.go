@@ -48,6 +48,12 @@ type Report struct {
 
 	// Iter is the predicted iteration time F(S) of the selection.
 	Iter time.Duration
+
+	// Decisions is the per-tensor decision log, populated only when the
+	// selector's Explain flag is set: for every tensor, each candidate's
+	// predicted iteration time against the final strategy, the winner,
+	// and the margin over the runner-up.
+	Decisions []TensorDecision
 }
 
 // Selector selects compression strategies for one (model, cluster, GC)
@@ -79,6 +85,12 @@ type Selector struct {
 	// search.* counters and gauges.
 	Obs *obs.Metrics
 
+	// Explain enables the decision log: after selection, every tensor's
+	// candidates are re-probed against the final strategy and the
+	// results land in Report.Decisions. The extra probes roughly double
+	// a Select call's evaluation count, so it is opt-in.
+	Explain bool
+
 	eng        *timeline.Engine
 	pool       []*timeline.Engine // lazily grown worker engines; pool[0] == eng
 	candidates []strategy.Option
@@ -89,6 +101,10 @@ type Selector struct {
 	// have identical F(S) effects, so evaluating one representative is
 	// sound and cuts the sweep cost roughly in half.
 	dedupBySize map[int][]strategy.Option
+
+	// lastRemoved records the tensors the most recent sweep ruled out by
+	// bubble analysis (Property #1); the explain pass reports them.
+	lastRemoved map[int]bool
 }
 
 // NewSelector builds a selector with the full GPU candidate set C_gpu.
@@ -170,6 +186,9 @@ func (sel *Selector) Select() (*strategy.Strategy, *Report, error) {
 		return nil, nil, err
 	}
 	rep.Iter = iter
+	if err := sel.explainDecisions(s, rep); err != nil {
+		return nil, nil, err
+	}
 	// SelectionTime is stamped last so the wall clock covers every
 	// evaluation counted in rep.Evals — including this final one — and
 	// Alg1Time + OffloadTime <= SelectionTime always holds.
@@ -422,6 +441,9 @@ func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) 
 		return nil, nil, err
 	}
 	rep.Iter = iter
+	if err := sel.explainDecisions(s, rep); err != nil {
+		return nil, nil, err
+	}
 	sel.publish(rep)
 	return s, rep, nil
 }
@@ -552,6 +574,7 @@ func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Str
 			break
 		}
 	}
+	sel.lastRemoved = removed
 	return s, nil
 }
 

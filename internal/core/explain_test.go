@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+)
+
+func explainSelector(t *testing.T, parallelism int) (*Selector, *model.Model) {
+	t.Helper()
+	m := model.LSTM()
+	c := cluster.NVLinkTestbed(2)
+	cm, err := cost.NewModels(c, compress.Spec{ID: compress.DGC, Ratio: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := NewSelector(m, c, cm)
+	sel.Parallelism = parallelism
+	sel.Explain = true
+	return sel, m
+}
+
+func TestExplainCoversEveryTensor(t *testing.T) {
+	sel, m := explainSelector(t, 1)
+	s, rep, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decisions) != m.NumTensors() {
+		t.Fatalf("decision log covers %d tensors, want %d", len(rep.Decisions), m.NumTensors())
+	}
+	ruled := 0
+	for i, d := range rep.Decisions {
+		if d.Tensor != i || d.Name != m.Tensors[i].Name {
+			t.Errorf("decision %d identifies tensor %d %q, want %d %q", i, d.Tensor, d.Name, i, m.Tensors[i].Name)
+		}
+		if !d.Chosen.Equal(s.PerTensor[i]) {
+			t.Errorf("tensor %d: logged choice %s, selected %s", i, d.Chosen, s.PerTensor[i])
+		}
+		// ChosenIter is F(S) of the final strategy — the same for every
+		// tensor, and the selection's own prediction.
+		if d.ChosenIter != rep.Iter {
+			t.Errorf("tensor %d: chosen iter %v, want F(S) = %v", i, d.ChosenIter, rep.Iter)
+		}
+		if len(d.Candidates) < 2 {
+			t.Errorf("tensor %d: only %d candidates probed", i, len(d.Candidates))
+		}
+		chosenSeen := false
+		for j, c := range d.Candidates {
+			if j > 0 && c.Iter < d.Candidates[j-1].Iter {
+				t.Errorf("tensor %d: candidates not sorted at %d", i, j)
+			}
+			if c.Chosen {
+				chosenSeen = true
+			}
+		}
+		if !chosenSeen {
+			t.Errorf("tensor %d: no candidate marked chosen", i)
+		}
+		// The sweep converged: no single-tensor GPU move can beat the
+		// final strategy, so the margin over the runner-up cannot be
+		// negative (CPU-offload interplay aside, which LSTM on this
+		// testbed does not trigger: nothing is offloaded).
+		if rep.Offloaded == 0 && d.Margin < 0 {
+			t.Errorf("tensor %d: negative margin %v without offloading", i, d.Margin)
+		}
+		if d.Ruled {
+			ruled++
+		}
+	}
+	if ruled != rep.Ruled {
+		t.Errorf("decision log marks %d tensors ruled out, report says %d", ruled, rep.Ruled)
+	}
+}
+
+func TestExplainOffByDefault(t *testing.T) {
+	sel, _ := explainSelector(t, 1)
+	sel.Explain = false
+	_, rep, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decisions != nil {
+		t.Fatalf("decision log populated without Explain: %d entries", len(rep.Decisions))
+	}
+}
+
+// The explain pass must not perturb the selection, and its probes must
+// be deterministic across parallelism settings like every other F(S)
+// fan-out.
+func TestExplainDeterministicAcrossParallelism(t *testing.T) {
+	sel1, _ := explainSelector(t, 1)
+	s1, rep1, err := sel1.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel4, _ := explainSelector(t, 4)
+	s4, rep4, err := sel4.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.PerTensor) != len(s4.PerTensor) {
+		t.Fatal("selected strategies differ in size across parallelism")
+	}
+	for i := range s1.PerTensor {
+		if !s1.PerTensor[i].Equal(s4.PerTensor[i]) {
+			t.Fatalf("tensor %d: strategies differ across parallelism", i)
+		}
+	}
+	if len(rep1.Decisions) != len(rep4.Decisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(rep1.Decisions), len(rep4.Decisions))
+	}
+	for i := range rep1.Decisions {
+		d1, d4 := rep1.Decisions[i], rep4.Decisions[i]
+		if !d1.Chosen.Equal(d4.Chosen) || d1.Margin != d4.Margin {
+			t.Errorf("tensor %d: decisions differ across parallelism: %s/%v vs %s/%v",
+				i, d1.Chosen, d1.Margin, d4.Chosen, d4.Margin)
+		}
+		if len(d1.Candidates) != len(d4.Candidates) {
+			t.Errorf("tensor %d: candidate counts differ: %d vs %d", i, len(d1.Candidates), len(d4.Candidates))
+			continue
+		}
+		for j := range d1.Candidates {
+			if d1.Candidates[j].Iter != d4.Candidates[j].Iter {
+				t.Errorf("tensor %d candidate %d: iters differ: %v vs %v",
+					i, j, d1.Candidates[j].Iter, d4.Candidates[j].Iter)
+			}
+		}
+	}
+}

@@ -1,0 +1,519 @@
+// Package analyze turns a virtual-time span stream (the output of the
+// instrumented engines in this repository) into an iteration Profile: it
+// answers "why is this iteration slow" by accounting where the time went
+// — per-device utilization and idle-gap (bubble) statistics, queue-wait
+// distributions, a per-phase raw-vs-compressed time/byte breakdown, and
+// the critical path through the span DAG, each segment attributed to a
+// pipeline phase.
+//
+// The critical path is the contiguous chain of spans that determines the
+// makespan: starting from the last span to finish, the walk steps
+// backward through whichever constraint bound each span's start — the
+// device's previous occupant when the span queued, or the span's pipeline
+// predecessor (the span ending exactly when it became ready) otherwise.
+// Segments therefore tile [0, makespan] exactly: service segments where a
+// span held its device, wait segments where critical work queued for a
+// busy device, and gap segments for any interval no recorded span
+// explains. Shrinking any service segment on the path shrinks the
+// iteration; that is what makes the per-phase path totals the
+// bottleneck-naming breakdown of the paper's Figures 9-13.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"espresso/internal/obs"
+)
+
+// Options configures an analysis.
+type Options struct {
+	// Forward, when known (the analyzer ran the job itself rather than
+	// loading a trace file), is the forward-pass time of the iteration:
+	// spans cover only the backward makespan, so the profile prepends a
+	// forward segment and reports Iter = Forward + Window.
+	Forward time.Duration
+	// Rank selects the rank whose spans the critical path walks and the
+	// per-phase breakdown covers; -1 (and the zero value, when no span
+	// lives on rank 0) selects the rank owning the globally last span.
+	// Engine-replayed traces are symmetric across ranks, so any choice
+	// yields the same story.
+	Rank int
+}
+
+// SegKind classifies one critical-path segment.
+type SegKind uint8
+
+const (
+	// KindService is a span holding its device.
+	KindService SegKind = iota
+	// KindWait is critical work queued for a busy device.
+	KindWait
+	// KindGap is an interval no recorded span explains (idle bubble at
+	// the head of the chain, or foreign-tool traces with missing spans).
+	KindGap
+	// KindForward is the synthetic forward-pass segment prepended when
+	// Options.Forward is known.
+	KindForward
+)
+
+func (k SegKind) String() string {
+	switch k {
+	case KindService:
+		return "service"
+	case KindWait:
+		return "wait"
+	case KindGap:
+		return "gap"
+	case KindForward:
+		return "forward"
+	default:
+		return fmt.Sprintf("SegKind(%d)", int(k))
+	}
+}
+
+// MarshalText makes SegKind self-describing in the JSON export.
+func (k SegKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Segment is one link of the critical path. Segments are contiguous:
+// each starts where its predecessor ends. Times are trace coordinates
+// (virtual time since backward start); the forward segment, when present,
+// occupies [-Forward, 0].
+type Segment struct {
+	Kind   SegKind       `json:"kind"`
+	Phase  obs.Phase     `json:"-"`
+	PhaseS string        `json:"phase"`
+	Device string        `json:"device,omitempty"`
+	Name   string        `json:"name,omitempty"`
+	Tensor int           `json:"tensor"`
+	Start  time.Duration `json:"start_us"`
+	End    time.Duration `json:"end_us"`
+}
+
+// Dur is the segment's length.
+func (s Segment) Dur() time.Duration { return s.End - s.Start }
+
+// PathPhase aggregates the critical path's time in one phase.
+type PathPhase struct {
+	Phase   obs.Phase     `json:"-"`
+	PhaseS  string        `json:"phase"`
+	Service time.Duration `json:"service_us"`
+	Wait    time.Duration `json:"wait_us"`
+}
+
+// Total is the phase's service plus queue-wait time on the path.
+func (p PathPhase) Total() time.Duration { return p.Service + p.Wait }
+
+// CriticalPath is the longest chain of dependent, non-overlapping spans.
+type CriticalPath struct {
+	// Rank is the rank the walk covered.
+	Rank int `json:"rank"`
+	// Segments tile [0, window] (plus the forward segment at the front
+	// when forward time is known), earliest first.
+	Segments []Segment `json:"segments"`
+	// Total is the sum of all segment durations — the iteration time
+	// when forward is known, the backward makespan otherwise.
+	Total time.Duration `json:"total_us"`
+	// ByPhase attributes the path per phase, largest share first; wait
+	// segments count toward the waiting span's phase, which is how the
+	// report can say "38% is inter-machine allreduce, of which 12% is
+	// queue wait on the NIC".
+	ByPhase []PathPhase `json:"by_phase"`
+	// GapTime sums the unattributed segments.
+	GapTime time.Duration `json:"gap_us"`
+}
+
+// Dominant is the phase holding the largest share of the path (the
+// forward pseudo-phase excluded), or false when the path is empty.
+func (cp *CriticalPath) Dominant() (PathPhase, bool) {
+	if len(cp.ByPhase) == 0 {
+		return PathPhase{}, false
+	}
+	return cp.ByPhase[0], true
+}
+
+// DeviceStat describes one rank x device track.
+type DeviceStat struct {
+	Rank   int    `json:"rank"`
+	Device string `json:"device"`
+	Spans  int    `json:"spans"`
+	// Busy is the union of the track's span intervals; Utilization is
+	// Busy over the profile window, always in [0, 1].
+	Busy        time.Duration `json:"busy_us"`
+	Utilization float64       `json:"utilization"`
+	Idle        time.Duration `json:"idle_us"`
+	// Gaps counts idle intervals between busy periods; BubbleTime and
+	// Bubbles cover the subset where the successor span was genuinely
+	// not ready (Ready past the gap's start) — the bubbles of Property
+	// #1, which no scheduling change could fill.
+	Gaps       int           `json:"gaps"`
+	LargestGap time.Duration `json:"largest_gap_us"`
+	Bubbles    int           `json:"bubbles"`
+	BubbleTime time.Duration `json:"bubble_us"`
+	// Queue-wait distribution across the track's spans; the quantiles
+	// interpolate an obs.Histogram over DurationBuckets.
+	QueueWait    time.Duration `json:"queue_wait_us"`
+	QueueWaitP50 time.Duration `json:"queue_wait_p50_us"`
+	QueueWaitP99 time.Duration `json:"queue_wait_p99_us"`
+	QueueWaitMax time.Duration `json:"queue_wait_max_us"`
+}
+
+// PhaseStat is the representative rank's breakdown for one phase.
+type PhaseStat struct {
+	Phase  obs.Phase `json:"-"`
+	PhaseS string    `json:"phase"`
+	Spans  int       `json:"spans"`
+	// Time sums span service; Raw/Compressed split it by the spans'
+	// wire-payload form (per-phase raw-vs-compressed breakdown).
+	Time           time.Duration `json:"time_us"`
+	RawTime        time.Duration `json:"raw_time_us"`
+	CompressedTime time.Duration `json:"compressed_time_us"`
+	QueueWait      time.Duration `json:"queue_wait_us"`
+	Bytes          int64         `json:"bytes"`
+	RawBytes       int64         `json:"raw_bytes"`
+	CompressedBy   int64         `json:"compressed_bytes"`
+}
+
+// Profile is the analysis of one iteration's span stream.
+type Profile struct {
+	// Window is the span stream's makespan: the latest span end.
+	Window time.Duration `json:"window_us"`
+	// Forward is the known forward-pass time (0 when analyzing a bare
+	// trace file); Iter = Forward + Window.
+	Forward time.Duration `json:"forward_us"`
+	Iter    time.Duration `json:"iter_us"`
+	Spans   int           `json:"spans"`
+	Ranks   int           `json:"ranks"`
+	// Devices covers every rank x device track, rank-major.
+	Devices []DeviceStat `json:"devices"`
+	// Phases covers the representative rank (the critical path's), in
+	// phase order; symmetric engine traces make it the whole story.
+	Phases   []PhaseStat  `json:"phases"`
+	Critical CriticalPath `json:"critical_path"`
+}
+
+// Analyze profiles a span stream. It errors only on an empty stream or
+// spans with negative durations; everything else degrades gracefully.
+func Analyze(spans []obs.Span, opts Options) (*Profile, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("analyze: no spans to analyze")
+	}
+	for _, sp := range spans {
+		if sp.End < sp.Start {
+			return nil, fmt.Errorf("analyze: span %q on rank %d %s ends (%v) before it starts (%v)",
+				sp.Name, sp.Rank, sp.Device, sp.End, sp.Start)
+		}
+	}
+	if opts.Forward < 0 {
+		opts.Forward = 0
+	}
+
+	p := &Profile{Spans: len(spans), Forward: opts.Forward}
+	ranks := map[int]bool{}
+	var lastRank int
+	for _, sp := range spans {
+		ranks[sp.Rank] = true
+		if sp.End > p.Window {
+			p.Window = sp.End
+			lastRank = sp.Rank
+		}
+	}
+	p.Ranks = len(ranks)
+	p.Iter = p.Forward + p.Window
+
+	rank := opts.Rank
+	if rank < 0 || !ranks[rank] {
+		rank = lastRank
+	}
+
+	p.Devices = deviceStats(spans, p.Window)
+	p.Phases = phaseStats(spans, rank)
+	p.Critical = criticalPath(spans, rank, opts.Forward)
+	return p, nil
+}
+
+// deviceStats computes per-track busy/idle/gap/queue-wait statistics.
+func deviceStats(spans []obs.Span, window time.Duration) []DeviceStat {
+	type key struct {
+		rank   int
+		device string
+	}
+	byTrack := map[key][]obs.Span{}
+	var keys []key
+	for _, sp := range spans {
+		k := key{sp.Rank, sp.Device}
+		if _, ok := byTrack[k]; !ok {
+			keys = append(keys, k)
+		}
+		byTrack[k] = append(byTrack[k], sp)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].rank != keys[b].rank {
+			return keys[a].rank < keys[b].rank
+		}
+		return trackOrder(keys[a].device) < trackOrder(keys[b].device)
+	})
+
+	out := make([]DeviceStat, 0, len(keys))
+	for _, k := range keys {
+		ts := byTrack[k]
+		sort.SliceStable(ts, func(a, b int) bool { return ts[a].Start < ts[b].Start })
+		d := DeviceStat{Rank: k.rank, Device: k.device, Spans: len(ts)}
+
+		// Merge the track's intervals so overlap (foreign traces) never
+		// pushes utilization past 1, then account the gaps between busy
+		// periods. A gap is a bubble when every span opening the next
+		// busy period became ready only after the gap began — no
+		// reordering could have filled it.
+		hist := obs.NewMetrics().Histogram("qw")
+		var busyEnd, gapStart time.Duration
+		open := false
+		for _, sp := range ts {
+			w := sp.QueueWait()
+			d.QueueWait += w
+			if w > d.QueueWaitMax {
+				d.QueueWaitMax = w
+			}
+			hist.Observe(float64(w) / float64(time.Microsecond))
+
+			if !open || sp.Start > busyEnd {
+				if open && sp.Start > busyEnd {
+					gap := sp.Start - busyEnd
+					d.Gaps++
+					if gap > d.LargestGap {
+						d.LargestGap = gap
+					}
+					gapStart = busyEnd
+					ready := sp.Ready
+					if ready > sp.Start {
+						ready = sp.Start
+					}
+					if ready > gapStart {
+						d.Bubbles++
+						d.BubbleTime += gap
+					}
+				}
+				open = true
+				busyEnd = sp.End
+				d.Busy += sp.End - sp.Start
+				continue
+			}
+			if sp.End > busyEnd {
+				d.Busy += sp.End - busyEnd
+				busyEnd = sp.End
+			}
+		}
+		d.Idle = window - d.Busy
+		if window > 0 {
+			d.Utilization = float64(d.Busy) / float64(window)
+		}
+		d.QueueWaitP50 = time.Duration(hist.Quantile(0.50) * float64(time.Microsecond))
+		d.QueueWaitP99 = time.Duration(hist.Quantile(0.99) * float64(time.Microsecond))
+		out = append(out, d)
+	}
+	return out
+}
+
+// wellKnown fixes the device display order, matching the trace exporter.
+var wellKnown = map[string]int{"gpu": 0, "cpu": 1, "pcie": 2, "intra": 3, "inter": 4, "nic": 5}
+
+func trackOrder(device string) string {
+	if i, ok := wellKnown[device]; ok {
+		return fmt.Sprintf("0%d", i)
+	}
+	return "1" + device
+}
+
+// phaseStats sums the representative rank's spans per phase.
+func phaseStats(spans []obs.Span, rank int) []PhaseStat {
+	stats := make([]PhaseStat, obs.NumPhases)
+	for p := range stats {
+		stats[p].Phase = obs.Phase(p)
+		stats[p].PhaseS = obs.Phase(p).String()
+	}
+	for _, sp := range spans {
+		if sp.Rank != rank || int(sp.Phase) >= len(stats) {
+			continue
+		}
+		st := &stats[sp.Phase]
+		st.Spans++
+		st.Time += sp.Dur()
+		st.QueueWait += sp.QueueWait()
+		st.Bytes += sp.Bytes
+		if sp.Compressed {
+			st.CompressedTime += sp.Dur()
+			st.CompressedBy += sp.Bytes
+		} else {
+			st.RawTime += sp.Dur()
+			st.RawBytes += sp.Bytes
+		}
+	}
+	out := stats[:0]
+	for _, st := range stats {
+		if st.Spans > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// criticalPath walks the span DAG of one rank backward from the last
+// completion, producing contiguous segments covering [0, window].
+func criticalPath(spans []obs.Span, rank int, forward time.Duration) CriticalPath {
+	cp := CriticalPath{Rank: rank}
+
+	// The rank's spans, sorted for deterministic predecessor selection.
+	var rs []obs.Span
+	for _, sp := range spans {
+		if sp.Rank == rank {
+			rs = append(rs, sp)
+		}
+	}
+	sort.SliceStable(rs, func(a, b int) bool {
+		sa, sb := rs[a], rs[b]
+		if sa.End != sb.End {
+			return sa.End < sb.End
+		}
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		if sa.Device != sb.Device {
+			return trackOrder(sa.Device) < trackOrder(sb.Device)
+		}
+		return sa.Name < sb.Name
+	})
+	if len(rs) == 0 {
+		return cp
+	}
+
+	// endAt[t] lists the indices of spans ending exactly at t.
+	endAt := map[time.Duration][]int{}
+	for i, sp := range rs {
+		endAt[sp.End] = append(endAt[sp.End], i)
+	}
+	// pred picks the span bounding time t for successor cur: prefer the
+	// same tensor's pipeline predecessor, then the same device's previous
+	// occupant, then the longest span ending at t.
+	pred := func(t time.Duration, cur obs.Span) (obs.Span, bool) {
+		bestScore := -1
+		var best obs.Span
+		for _, i := range endAt[t] {
+			c := rs[i]
+			if c.Dur() == 0 && c.QueueWait() == 0 && c.Start == t {
+				continue // zero-extent span cannot advance the walk
+			}
+			score := 0
+			if ci, ok := c.TensorIndex(); ok {
+				if ti, ok2 := cur.TensorIndex(); ok2 && ci == ti {
+					score = 2
+				}
+			}
+			if score == 0 && c.Device == cur.Device {
+				score = 1
+			}
+			if score > bestScore {
+				bestScore = score
+				best = c
+			}
+		}
+		return best, bestScore >= 0
+	}
+	// latestBefore finds the span with the greatest End < t, for covering
+	// holes no exact predecessor explains.
+	latestBefore := func(t time.Duration) (obs.Span, bool) {
+		i := sort.Search(len(rs), func(i int) bool { return rs[i].End >= t })
+		if i == 0 {
+			return obs.Span{}, false
+		}
+		return rs[i-1], true
+	}
+
+	var segments []Segment
+	cur := rs[len(rs)-1] // the rank's last completion
+	t := cur.End
+	for guard := 0; t > 0 && guard <= 2*len(rs)+4; guard++ {
+		ti, _ := cur.TensorIndex()
+		segments = append(segments, Segment{
+			Kind: KindService, Phase: cur.Phase, PhaseS: cur.Phase.String(),
+			Device: cur.Device, Name: cur.Name, Tensor: ti,
+			Start: cur.Start, End: t,
+		})
+		t = cur.Start
+		if w := cur.QueueWait(); w > 0 {
+			segments = append(segments, Segment{
+				Kind: KindWait, Phase: cur.Phase, PhaseS: cur.Phase.String(),
+				Device: cur.Device, Name: cur.Name, Tensor: ti,
+				Start: t - w, End: t,
+			})
+			t -= w
+		}
+		if t <= 0 {
+			break
+		}
+		next, ok := pred(t, cur)
+		if !ok {
+			prev, ok := latestBefore(t)
+			gapStart := time.Duration(0)
+			if ok {
+				gapStart = prev.End
+			}
+			segments = append(segments, Segment{
+				Kind: KindGap, Phase: obs.PhaseCompute, PhaseS: "idle",
+				Start: gapStart, End: t, Tensor: -1,
+			})
+			t = gapStart
+			if !ok || t <= 0 {
+				break
+			}
+			next = prev
+		}
+		cur = next
+	}
+
+	if forward > 0 {
+		segments = append(segments, Segment{
+			Kind: KindForward, Phase: obs.PhaseCompute, PhaseS: "forward",
+			Start: -forward, End: 0, Tensor: -1,
+		})
+	}
+
+	// The walk ran backward; present earliest-first.
+	for i, j := 0, len(segments)-1; i < j; i, j = i+1, j-1 {
+		segments[i], segments[j] = segments[j], segments[i]
+	}
+	cp.Segments = segments
+
+	byPhase := map[obs.Phase]*PathPhase{}
+	for _, seg := range segments {
+		cp.Total += seg.Dur()
+		switch seg.Kind {
+		case KindGap:
+			cp.GapTime += seg.Dur()
+		case KindForward:
+			// Forward is reported on its own, not as a phase share.
+		default:
+			pp := byPhase[seg.Phase]
+			if pp == nil {
+				pp = &PathPhase{Phase: seg.Phase, PhaseS: seg.Phase.String()}
+				byPhase[seg.Phase] = pp
+			}
+			if seg.Kind == KindWait {
+				pp.Wait += seg.Dur()
+			} else {
+				pp.Service += seg.Dur()
+			}
+		}
+	}
+	for _, pp := range byPhase {
+		cp.ByPhase = append(cp.ByPhase, *pp)
+	}
+	sort.Slice(cp.ByPhase, func(a, b int) bool {
+		pa, pb := cp.ByPhase[a], cp.ByPhase[b]
+		if pa.Total() != pb.Total() {
+			return pa.Total() > pb.Total()
+		}
+		return pa.Phase < pb.Phase
+	})
+	return cp
+}

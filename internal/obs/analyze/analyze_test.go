@@ -1,0 +1,225 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/core"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+	"espresso/internal/obs"
+	"espresso/internal/timeline"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report")
+
+func us(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+
+// syntheticSpans is a tiny hand-built iteration whose critical path is
+// known by construction: two backward kernels, an uncompressed and a
+// compressed collective, with the second collective queuing behind the
+// first on the inter-machine link.
+func syntheticSpans() []obs.Span {
+	return []obs.Span{
+		{Rank: 0, Device: "gpu", Phase: obs.PhaseCompute, Name: "T0 backward",
+			Start: 0, End: us(100), Bytes: 4096, Tensor: 1},
+		{Rank: 0, Device: "gpu", Phase: obs.PhaseCompute, Name: "T1 backward",
+			Start: us(100), End: us(200), Bytes: 8192, Tensor: 2},
+		{Rank: 0, Device: "inter", Phase: obs.PhaseInter, Name: "T0 s0 inter.allreduce",
+			Ready: us(100), Start: us(100), End: us(300), Tensor: 1, Step: 1},
+		{Rank: 0, Device: "inter", Phase: obs.PhaseInter, Name: "T1 s0 inter.allgather*",
+			Ready: us(200), Start: us(300), End: us(450), Tensor: 2, Step: 1, Compressed: true},
+	}
+}
+
+func TestAnalyzeSyntheticCriticalPath(t *testing.T) {
+	p, err := Analyze(syntheticSpans(), Options{Forward: us(50), Rank: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Window != us(450) || p.Iter != us(500) {
+		t.Fatalf("window/iter = %v/%v, want 450µs/500µs", p.Window, p.Iter)
+	}
+	// The path must tile [-forward, window] exactly: its segment
+	// durations sum to the iteration time.
+	if p.Critical.Total != p.Iter {
+		t.Errorf("critical path total = %v, want %v", p.Critical.Total, p.Iter)
+	}
+	// Expected chain, earliest first: forward, T0 backward, T1 backward,
+	// T1's 100µs queue wait on the busy inter link, T1's collective.
+	wantKinds := []SegKind{KindForward, KindService, KindService, KindWait, KindService}
+	if len(p.Critical.Segments) != len(wantKinds) {
+		t.Fatalf("segments = %d, want %d: %+v", len(p.Critical.Segments), len(wantKinds), p.Critical.Segments)
+	}
+	for i, k := range wantKinds {
+		if p.Critical.Segments[i].Kind != k {
+			t.Errorf("segment %d kind = %v, want %v", i, p.Critical.Segments[i].Kind, k)
+		}
+	}
+	wait := p.Critical.Segments[3]
+	if wait.Dur() != us(100) || wait.Device != "inter" {
+		t.Errorf("wait segment = %v on %s, want 100µs on inter", wait.Dur(), wait.Device)
+	}
+	dom, ok := p.Critical.Dominant()
+	if !ok || dom.Phase != obs.PhaseInter {
+		t.Errorf("dominant phase = %+v, want inter-collective", dom)
+	}
+	if dom.Wait != us(100) || dom.Service != us(150) {
+		t.Errorf("dominant wait/service = %v/%v, want 100µs/150µs", dom.Wait, dom.Service)
+	}
+	// The compressed collective's service time lands in the compressed
+	// split of the phase breakdown.
+	for _, ph := range p.Phases {
+		if ph.Phase == obs.PhaseInter {
+			if ph.CompressedTime != us(150) || ph.RawTime != us(200) {
+				t.Errorf("inter raw/compressed = %v/%v, want 200µs/150µs", ph.RawTime, ph.CompressedTime)
+			}
+		}
+	}
+}
+
+func TestAnalyzeEmptyAndInvalid(t *testing.T) {
+	if _, err := Analyze(nil, Options{}); err == nil {
+		t.Error("empty stream did not error")
+	}
+	bad := []obs.Span{{Start: us(10), End: us(5)}}
+	if _, err := Analyze(bad, Options{}); err == nil {
+		t.Error("negative-duration span did not error")
+	}
+}
+
+// TestAnalyzeEngineProperties is the property test on a real engine
+// trace: per-device utilization stays in [0, 1], the critical path tiles
+// [0, makespan] contiguously, and its total matches the engine's
+// predicted iteration time exactly.
+func TestAnalyzeEngineProperties(t *testing.T) {
+	m := model.LSTM()
+	c := cluster.NVLinkTestbed(2)
+	cm, err := cost.NewModels(c, compress.Spec{ID: compress.DGC, Ratio: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := core.NewSelector(m, c, cm)
+	s, _, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := timeline.New(m, c, cm)
+	res, err := eng.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	if err := eng.Observe(tr, nil, res, s); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := Analyze(tr.Spans(), Options{Forward: m.Forward, Rank: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Window != res.Makespan {
+		t.Errorf("window = %v, want engine makespan %v", p.Window, res.Makespan)
+	}
+	if p.Iter != res.Iter {
+		t.Errorf("iter = %v, want engine prediction %v", p.Iter, res.Iter)
+	}
+	if p.Critical.Total != res.Iter {
+		t.Errorf("critical path total = %v, want engine prediction %v", p.Critical.Total, res.Iter)
+	}
+	if len(p.Devices) == 0 {
+		t.Fatal("no device stats")
+	}
+	for _, d := range p.Devices {
+		if d.Utilization < 0 || d.Utilization > 1 {
+			t.Errorf("rank %d %s utilization = %v, out of [0, 1]", d.Rank, d.Device, d.Utilization)
+		}
+		if d.Busy+d.Idle != p.Window {
+			t.Errorf("rank %d %s busy+idle = %v, want window %v", d.Rank, d.Device, d.Busy+d.Idle, p.Window)
+		}
+		if d.QueueWaitP50 > d.QueueWaitP99 || d.QueueWaitP99 > d.QueueWaitMax {
+			t.Errorf("rank %d %s queue-wait quantiles not ordered: p50 %v p99 %v max %v",
+				d.Rank, d.Device, d.QueueWaitP50, d.QueueWaitP99, d.QueueWaitMax)
+		}
+	}
+	// Contiguity: every segment starts where its predecessor ends, from
+	// -forward to the window's end.
+	segs := p.Critical.Segments
+	if len(segs) == 0 {
+		t.Fatal("no critical-path segments")
+	}
+	if segs[0].Start != -m.Forward {
+		t.Errorf("path starts at %v, want %v", segs[0].Start, -m.Forward)
+	}
+	if segs[len(segs)-1].End != p.Window {
+		t.Errorf("path ends at %v, want %v", segs[len(segs)-1].End, p.Window)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Errorf("segment %d starts at %v, predecessor ends at %v", i, segs[i].Start, segs[i-1].End)
+		}
+	}
+}
+
+// TestWriteTextGolden freezes the report format on the synthetic job.
+// Regenerate with: go test ./internal/obs/analyze -run Golden -update
+func TestWriteTextGolden(t *testing.T) {
+	p, err := Analyze(syntheticSpans(), Options{Forward: us(50), Rank: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden (run with -update to accept):\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteJSONDurationsAreMicros(t *testing.T) {
+	p, err := Analyze(syntheticSpans(), Options{Forward: us(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		WindowUs float64 `json:"window_us"`
+		IterUs   float64 `json:"iter_us"`
+		Critical struct {
+			TotalUs float64 `json:"total_us"`
+		} `json:"critical_path"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.WindowUs != 450 || decoded.IterUs != 500 {
+		t.Errorf("window/iter = %v/%v µs, want 450/500", decoded.WindowUs, decoded.IterUs)
+	}
+	if decoded.Critical.TotalUs != 500 {
+		t.Errorf("critical total = %v µs, want 500", decoded.Critical.TotalUs)
+	}
+}

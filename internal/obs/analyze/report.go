@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ms renders virtual time with fixed precision so reports diff cleanly.
+func ms(d time.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }
+
+// pct renders a share of the iteration.
+func pct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "  0.0%"
+	}
+	return fmt.Sprintf("%5.1f%%", 100*float64(part)/float64(whole))
+}
+
+// kb renders a byte count.
+func kb(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// WriteText renders the human-readable profile: the headline numbers, the
+// critical path's per-phase attribution, its topN longest segments, the
+// per-phase breakdown, and the device table. The output is deterministic
+// for a given profile — the golden test freezes its format.
+func (p *Profile) WriteText(w io.Writer, topN int) error {
+	if topN <= 0 {
+		topN = 8
+	}
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "=== iteration profile ===\n")
+	fmt.Fprintf(&b, "iteration        %s\n", ms(p.Iter))
+	if p.Forward > 0 {
+		fmt.Fprintf(&b, "  forward pass   %s (%s)\n", ms(p.Forward), strings.TrimSpace(pct(p.Forward, p.Iter)))
+	}
+	fmt.Fprintf(&b, "  backward span  %s (%s)\n", ms(p.Window), strings.TrimSpace(pct(p.Window, p.Iter)))
+	fmt.Fprintf(&b, "spans            %d across %d rank(s)\n", p.Spans, p.Ranks)
+
+	cp := &p.Critical
+	fmt.Fprintf(&b, "\n--- critical path (rank %d, %d segments, covers %s) ---\n",
+		cp.Rank, len(cp.Segments), ms(cp.Total))
+	for _, pp := range cp.ByPhase {
+		line := fmt.Sprintf("%s  %-16s %10s", pct(pp.Total(), p.Iter), pp.PhaseS, ms(pp.Total()))
+		if pp.Wait > 0 {
+			line += fmt.Sprintf("  (%s queue wait)", ms(pp.Wait))
+		}
+		fmt.Fprintf(&b, "%s\n", line)
+	}
+	if p.Forward > 0 {
+		fmt.Fprintf(&b, "%s  %-16s %10s\n", pct(p.Forward, p.Iter), "forward", ms(p.Forward))
+	}
+	if cp.GapTime > 0 {
+		fmt.Fprintf(&b, "%s  %-16s %10s\n", pct(cp.GapTime, p.Iter), "unattributed", ms(cp.GapTime))
+	}
+	if dom, ok := cp.Dominant(); ok {
+		fmt.Fprintf(&b, "dominant phase: %s (%s of the iteration", dom.PhaseS, strings.TrimSpace(pct(dom.Total(), p.Iter)))
+		if dom.Wait > 0 {
+			fmt.Fprintf(&b, ", of which %s is queue wait", strings.TrimSpace(pct(dom.Wait, p.Iter)))
+		}
+		fmt.Fprintf(&b, ")\n")
+	}
+
+	fmt.Fprintf(&b, "\ntop %d critical-path segments:\n", topN)
+	segs := append([]Segment(nil), cp.Segments...)
+	sort.SliceStable(segs, func(a, b int) bool { return segs[a].Dur() > segs[b].Dur() })
+	if len(segs) > topN {
+		segs = segs[:topN]
+	}
+	for _, s := range segs {
+		name := s.Name
+		if name == "" {
+			name = s.PhaseS
+		}
+		fmt.Fprintf(&b, "  [%10s - %10s] %-7s %-5s %-16s %s\n",
+			ms(s.Start), ms(s.End), s.Kind, s.Device, s.PhaseS, name)
+	}
+
+	fmt.Fprintf(&b, "\n--- per-phase breakdown (rank %d) ---\n", cp.Rank)
+	fmt.Fprintf(&b, "%-16s %6s %12s %7s %12s %12s %12s\n",
+		"phase", "spans", "time", "%iter", "queue wait", "raw", "compressed")
+	for _, st := range p.Phases {
+		raw, comp := ms(st.RawTime), ms(st.CompressedTime)
+		if st.RawBytes > 0 {
+			raw += "/" + kb(st.RawBytes)
+		}
+		if st.CompressedBy > 0 {
+			comp += "/" + kb(st.CompressedBy)
+		}
+		fmt.Fprintf(&b, "%-16s %6d %12s %7s %12s %12s %12s\n",
+			st.PhaseS, st.Spans, ms(st.Time), strings.TrimSpace(pct(st.Time, p.Iter)),
+			ms(st.QueueWait), raw, comp)
+	}
+
+	fmt.Fprintf(&b, "\n--- devices ---\n")
+	fmt.Fprintf(&b, "%4s %-6s %6s %12s %5s %12s %8s %12s %12s %12s\n",
+		"rank", "dev", "util", "busy", "gaps", "largest gap", "bubbles", "bubble time", "qwait p50", "qwait p99")
+	for _, d := range p.Devices {
+		fmt.Fprintf(&b, "%4d %-6s %5.1f%% %12s %5d %12s %8d %12s %12s %12s\n",
+			d.Rank, d.Device, 100*d.Utilization, ms(d.Busy), d.Gaps, ms(d.LargestGap),
+			d.Bubbles, ms(d.BubbleTime), ms(d.QueueWaitP50), ms(d.QueueWaitP99))
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// durationsAsMicros rewrites every *_us field from nanoseconds (Go's
+// time.Duration JSON form) to fractional microseconds, the unit every
+// other trace artifact in this repository uses.
+func durationsAsMicros(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, e := range t {
+			if strings.HasSuffix(k, "_us") {
+				if f, ok := e.(float64); ok {
+					t[k] = f / 1e3
+					continue
+				}
+			}
+			t[k] = durationsAsMicros(e)
+		}
+		return t
+	case []any:
+		for i, e := range t {
+			t[i] = durationsAsMicros(e)
+		}
+		return t
+	default:
+		return v
+	}
+}
+
+// WriteJSON exports the machine-readable analysis. All *_us fields are
+// fractional microseconds of virtual time.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	var generic any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(durationsAsMicros(generic))
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReadChrome parses a trace previously exported with WriteChrome back
+// into spans: one Span per complete ("X") event, with the rank taken
+// from the process id, the device track from the thread_name metadata,
+// and the phase, queue wait, payload size, and tensor/step identity
+// recovered from the event's category and args. It is the inverse of
+// WriteChrome up to span ordering (spans return sorted by rank, track,
+// start — the exporter's order).
+//
+// Traces produced by other tools load too, degrading gracefully: events
+// without recognizable metadata land on a per-tid fallback track and
+// events without a phase category are classified as compute.
+func ReadChrome(r io.Reader) ([]Span, error) {
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("obs: parsing chrome trace: %w", err)
+	}
+
+	type track struct{ pid, tid int }
+	names := map[track]string{}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				names[track{ev.Pid, ev.Tid}] = n
+			}
+		}
+	}
+
+	var spans []Span
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		device, ok := names[track{ev.Pid, ev.Tid}]
+		if !ok {
+			device = fmt.Sprintf("track%d", ev.Tid)
+		}
+		sp := Span{
+			Rank:   ev.Pid,
+			Device: device,
+			Name:   ev.Name,
+			Start:  durMicros(ev.Ts),
+			End:    durMicros(ev.Ts + ev.Dur),
+		}
+		sp.Ready = sp.Start
+		if p, ok := ParsePhase(ev.Cat); ok {
+			sp.Phase = p
+		}
+		if w, ok := jsonFloat(ev.Args["queue_wait_us"]); ok && w > 0 {
+			sp.Ready = sp.Start - durMicros(w)
+		}
+		if b, ok := jsonFloat(ev.Args["bytes"]); ok {
+			sp.Bytes = int64(b)
+		}
+		if t, ok := jsonFloat(ev.Args["tensor"]); ok && t >= 0 {
+			sp.Tensor = int(t) + 1
+		}
+		if s, ok := jsonFloat(ev.Args["step"]); ok && s >= 0 {
+			sp.Step = int(s) + 1
+		}
+		if c, ok := ev.Args["compressed"].(bool); ok {
+			sp.Compressed = c
+		}
+		spans = append(spans, sp)
+	}
+	return spans, nil
+}
+
+// durMicros converts the trace format's (fractional) microseconds back to
+// virtual time.
+func durMicros(us float64) time.Duration { return time.Duration(us * 1e3) }
+
+// jsonFloat extracts a numeric arg, which encoding/json decodes as
+// float64 regardless of the Go type that produced it.
+func jsonFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}

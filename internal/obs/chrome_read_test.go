@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadChromeRoundTrip checks ReadChrome is the inverse of WriteChrome
+// for every recoverable field. Ready is recovered via the queue-wait arg,
+// so spans recorded without a Ready timestamp come back with Ready ==
+// Start — the same zero queue wait, not the same raw field.
+func TestReadChromeRoundTrip(t *testing.T) {
+	us := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	in := []Span{
+		{Rank: 0, Device: "gpu", Phase: PhaseCompute, Name: "T0 backward",
+			Ready: 0, Start: 0, End: us(100), Bytes: 4096, Tensor: 1, Step: 0},
+		{Rank: 0, Device: "gpu", Phase: PhaseEncode, Name: "T0 s0 comp(GPU)",
+			Ready: us(100), Start: us(120), End: us(150), Bytes: 4096, Tensor: 1, Step: 1},
+		{Rank: 1, Device: "inter", Phase: PhaseInter, Name: "T0 s1 inter.allgather*",
+			Ready: us(150), Start: us(150), End: us(300), Tensor: 1, Step: 2, Compressed: true},
+	}
+	tr := NewTrace()
+	for _, sp := range in {
+		tr.Record(sp)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip returned %d spans, want %d", len(out), len(in))
+	}
+	// WriteChrome sorts by rank/track/start; the input above is already
+	// in that order.
+	for i, want := range in {
+		got := out[i]
+		if got.Rank != want.Rank || got.Device != want.Device || got.Name != want.Name {
+			t.Errorf("span %d identity = %d/%s/%q, want %d/%s/%q",
+				i, got.Rank, got.Device, got.Name, want.Rank, want.Device, want.Name)
+		}
+		if got.Phase != want.Phase {
+			t.Errorf("span %d phase = %v, want %v", i, got.Phase, want.Phase)
+		}
+		if got.Start != want.Start || got.End != want.End {
+			t.Errorf("span %d window = [%v, %v], want [%v, %v]", i, got.Start, got.End, want.Start, want.End)
+		}
+		if got.QueueWait() != want.QueueWait() {
+			t.Errorf("span %d queue wait = %v, want %v", i, got.QueueWait(), want.QueueWait())
+		}
+		if got.Bytes != want.Bytes {
+			t.Errorf("span %d bytes = %d, want %d", i, got.Bytes, want.Bytes)
+		}
+		if got.Tensor != want.Tensor || got.Step != want.Step {
+			t.Errorf("span %d tensor/step = %d/%d, want %d/%d", i, got.Tensor, got.Step, want.Tensor, want.Step)
+		}
+		if got.Compressed != want.Compressed {
+			t.Errorf("span %d compressed = %v, want %v", i, got.Compressed, want.Compressed)
+		}
+	}
+}
+
+func TestReadChromeForeignTraceDegradesGracefully(t *testing.T) {
+	// A trace written by another tool: no thread_name metadata, an
+	// unknown category, and an instant event that must be skipped.
+	foreign := `{"traceEvents": [
+		{"name": "work", "ph": "X", "cat": "whatever", "ts": 10, "dur": 5, "pid": 3, "tid": 7},
+		{"name": "marker", "ph": "i", "ts": 12, "pid": 3, "tid": 7}
+	]}`
+	spans, err := ReadChrome(strings.NewReader(foreign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Device != "track7" {
+		t.Errorf("fallback device = %q, want track7", sp.Device)
+	}
+	if sp.Phase != PhaseCompute {
+		t.Errorf("unknown category mapped to %v, want PhaseCompute", sp.Phase)
+	}
+	if sp.Start != 10*time.Microsecond || sp.End != 15*time.Microsecond {
+		t.Errorf("window = [%v, %v], want [10µs, 15µs]", sp.Start, sp.End)
+	}
+	if sp.QueueWait() != 0 {
+		t.Errorf("queue wait = %v, want 0", sp.QueueWait())
+	}
+}
+
+func TestReadChromeRejectsGarbage(t *testing.T) {
+	if _, err := ReadChrome(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input did not error")
+	}
+}

@@ -136,6 +136,59 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by interpolating linearly within the bucket containing the
+// target rank, the standard Prometheus histogram_quantile estimator. The
+// estimate is clamped to the observed [min, max], which resolves both
+// edge buckets exactly: ranks falling in the first bucket never drop
+// below the smallest observation, and ranks in the +Inf bucket report the
+// largest. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := int64(0)
+	for i, c := range h.counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		// Bucket i holds the target rank. Interpolate between its
+		// bounds; the first bucket's lower bound is 0 and the +Inf
+		// bucket degenerates to the observed max.
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		v := h.max
+		if i < len(h.bounds) {
+			hi := h.bounds[i]
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - float64(cum)) / float64(c)
+			}
+			v = lo + (hi-lo)*frac
+		}
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
 // Counter returns the named counter, creating it on first use.
 func (m *Metrics) Counter(name string) *Counter {
 	m.mu.Lock()

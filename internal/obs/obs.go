@@ -64,6 +64,17 @@ func (p Phase) String() string {
 	}
 }
 
+// ParsePhase maps a phase name (the String form, as exported into trace
+// files) back to its Phase value.
+func ParsePhase(s string) (Phase, bool) {
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // Span is one timed interval on a rank's device track, in virtual time.
 type Span struct {
 	// Rank is the participant index (machine or GPU rank, depending on
@@ -86,13 +97,51 @@ type Span struct {
 	// Bytes is the payload size the span moved or transformed, when the
 	// emitting engine knows it (0 otherwise).
 	Bytes int64
+	// Tensor identifies the gradient tensor the span belongs to as
+	// 1+index, so the zero value means "no tensor association" (metadata,
+	// message-level spans). Decode with TensorIndex.
+	Tensor int
+	// Step is 1 + the strategy step index that produced the span; 0
+	// means none (a backward kernel, or a span outside a tensor
+	// pipeline). Decode with StepIndex.
+	Step int
+	// Compressed marks communication spans whose wire payload is in
+	// compressed form — the raw-vs-compressed split of the per-phase
+	// breakdown.
+	Compressed bool
 }
 
 // Dur is the span's service time.
 func (s Span) Dur() time.Duration { return s.End - s.Start }
 
-// QueueWait is how long the work waited for its device.
-func (s Span) QueueWait() time.Duration { return s.Start - s.Ready }
+// TensorIndex decodes the span's tensor association: the tensor index in
+// backward order, and whether the span has one.
+func (s Span) TensorIndex() (int, bool) {
+	if s.Tensor <= 0 {
+		return -1, false
+	}
+	return s.Tensor - 1, true
+}
+
+// StepIndex decodes the span's strategy step association: the step index
+// within the tensor's option, and whether the span has one.
+func (s Span) StepIndex() (int, bool) {
+	if s.Step <= 0 {
+		return -1, false
+	}
+	return s.Step - 1, true
+}
+
+// QueueWait is how long the work waited for its device. Spans recorded
+// without a submission time (zero Ready — engines that do not track when
+// work was handed to the device) and spans whose Ready is inconsistent
+// with Start report zero rather than a spurious or negative wait.
+func (s Span) QueueWait() time.Duration {
+	if s.Ready <= 0 || s.Ready > s.Start {
+		return 0
+	}
+	return s.Start - s.Ready
+}
 
 // Recorder captures telemetry spans. Implementations must tolerate spans
 // arriving out of time order (engines replay recorded history).

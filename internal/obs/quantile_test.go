@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewMetrics().Histogram("empty", 1, 10)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	// With one observation every quantile is that observation: the
+	// first-bucket lower bound (0) and the interpolated upper bound both
+	// clamp to the observed [min, max].
+	h := NewMetrics().Histogram("one", 1, 10, 100)
+	h.Observe(5)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := h.Quantile(q); got != 5 {
+			t.Errorf("Quantile(%v) = %v, want 5", q, got)
+		}
+	}
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	h := NewMetrics().Histogram("interp", 10, 20)
+	h.Observe(10) // <=10 bucket
+	h.Observe(20) // (10, 20] bucket
+	// rank(0.75) = 1.5 lands half-way into the (10, 20] bucket.
+	if got := h.Quantile(0.75); got != 15 {
+		t.Errorf("Quantile(0.75) = %v, want 15 (linear interpolation in (10, 20])", got)
+	}
+	// rank(0.5) = 1 is exactly the <=10 bucket's cumulative count; the
+	// first bucket interpolates from lower bound 0 and clamps to min.
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("Quantile(0.5) = %v, want 10", got)
+	}
+}
+
+func TestQuantileInfBucketReportsMax(t *testing.T) {
+	// Observations past the last bound land in the +Inf bucket, which has
+	// no finite upper bound to interpolate toward: the estimate is the
+	// observed max.
+	h := NewMetrics().Histogram("inf", 1)
+	h.Observe(5)
+	h.Observe(50)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 50 {
+			t.Errorf("Quantile(%v) = %v, want 50 (observed max)", q, got)
+		}
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	h := NewMetrics().Histogram("clamp", 10, 20)
+	h.Observe(10)
+	h.Observe(20)
+	if got, want := h.Quantile(-1), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-1) = %v, want Quantile(0) = %v", got, want)
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %v, want Quantile(1) = %v", got, want)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	h := NewMetrics().Histogram("mono", DurationBuckets...)
+	for v := 1.0; v < 1e6; v *= 1.7 {
+		h.Observe(v)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestQueueWaitZeroReadyGuard is the regression test for spans recorded
+// without a Ready timestamp (foreign traces, hand-built spans): their
+// queue wait must read as 0, not as the whole interval [0, Start].
+func TestQueueWaitZeroReadyGuard(t *testing.T) {
+	cases := []struct {
+		name string
+		sp   Span
+		want time.Duration
+	}{
+		{"zero ready", Span{Start: 5 * time.Microsecond, End: 10 * time.Microsecond}, 0},
+		{"ready after start", Span{Ready: 7 * time.Microsecond, Start: 5 * time.Microsecond}, 0},
+		{"genuine wait", Span{Ready: 2 * time.Microsecond, Start: 5 * time.Microsecond}, 3 * time.Microsecond},
+		{"no wait", Span{Ready: 5 * time.Microsecond, Start: 5 * time.Microsecond}, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.sp.QueueWait(); got != tc.want {
+			t.Errorf("%s: QueueWait() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

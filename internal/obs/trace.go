@@ -148,6 +148,15 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		if sp.Bytes > 0 {
 			args["bytes"] = sp.Bytes
 		}
+		if idx, ok := sp.TensorIndex(); ok {
+			args["tensor"] = idx
+		}
+		if step, ok := sp.StepIndex(); ok {
+			args["step"] = step
+		}
+		if sp.Compressed {
+			args["compressed"] = true
+		}
 		events = append(events, chromeEvent{
 			Name: sp.Name, Ph: "X", Cat: sp.Phase.String(),
 			Ts: micros(sp.Start), Dur: &dur,

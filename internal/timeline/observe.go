@@ -66,8 +66,11 @@ func (e *Engine) Observe(tr obs.Recorder, mx *obs.Metrics, res *Result, s *strat
 			phase := phaseOf(op, opt)
 			name := fmt.Sprintf("T%d backward", op.Tensor)
 			var bytes int64
+			compressed := false
 			if op.Step >= 0 {
-				name = fmt.Sprintf("T%d s%d %s", op.Tensor, op.Step, opt.Steps[op.Step])
+				st := opt.Steps[op.Step]
+				name = fmt.Sprintf("T%d s%d %s", op.Tensor, op.Step, st)
+				compressed = st.Act == strategy.Comm && st.Compressed
 			}
 			switch phase {
 			case obs.PhaseCompute, obs.PhaseEncode, obs.PhaseDecode, obs.PhaseOffload:
@@ -77,7 +80,9 @@ func (e *Engine) Observe(tr obs.Recorder, mx *obs.Metrics, res *Result, s *strat
 				tr.Record(obs.Span{
 					Rank: rank, Device: op.Res.track(), Phase: phase, Name: name,
 					Ready: op.Span.Ready, Start: op.Span.Start, End: op.Span.End,
-					Bytes: bytes,
+					Bytes:  bytes,
+					Tensor: op.Tensor + 1, Step: op.Step + 1,
+					Compressed: compressed,
 				})
 			}
 		}
@@ -85,7 +90,7 @@ func (e *Engine) Observe(tr obs.Recorder, mx *obs.Metrics, res *Result, s *strat
 
 	if mx != nil {
 		for _, op := range res.Ops {
-			mx.Histogram("timeline.queue_wait_us."+op.Res.track()).
+			mx.Histogram("timeline.queue_wait_us." + op.Res.track()).
 				Observe(float64(op.Span.Queued().Microseconds()))
 		}
 		for r := Resource(0); r < numResources; r++ {

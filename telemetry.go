@@ -68,6 +68,7 @@ func SelectTraced(job Job, tel *Telemetry) (*Strategy, *Report, error) {
 	}
 	sel := core.NewSelector(r.m, r.c, r.cm)
 	sel.Parallelism = job.workers()
+	sel.Explain = job.Explain
 	sel.Obs = tel.metrics
 	if err := applyConstraints(sel, job, r); err != nil {
 		return nil, nil, err
@@ -81,6 +82,7 @@ func SelectTraced(job Job, tel *Telemetry) (*Strategy, *Report, error) {
 	out.Evaluations = rep.Evals
 	out.CompressedTensors = rep.Compressed
 	out.OffloadedTensors = rep.Offloaded
+	out.Decisions = choices(rep.Decisions)
 	wrapped := wrapStrategy(s, r.m)
 	if err := tel.observe(r, wrapped); err != nil {
 		return nil, nil, fmt.Errorf("espresso: telemetry: %w", err)
