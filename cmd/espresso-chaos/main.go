@@ -1,0 +1,121 @@
+// Command espresso-chaos sweeps straggler severity: it selects the
+// healthy-topology Espresso strategy once, then for each severity
+// (bandwidth divisor) re-runs selection on the degraded topology,
+// warm-started from the healthy incumbent, and reports the predicted
+// iteration time before/after and the strategy's communication shape.
+// The shape column surfaces the flat<->hierarchical crossover: as the
+// inter-machine link degrades, the optimum migrates between single-phase
+// flat collectives and two-level hierarchical ones.
+//
+//	espresso-chaos -model lstm -cluster nvlink -machines 4 -severities 1,2,4,8,16
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"espresso/internal/chaos"
+	"espresso/internal/cluster"
+	"espresso/internal/compress"
+	"espresso/internal/core"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+	"espresso/internal/par"
+)
+
+type sweepRow struct {
+	Severity    float64            `json:"severity"`
+	InterScale  float64            `json:"inter_scale"`
+	Reselection *chaos.Reselection `json:"reselection"`
+}
+
+func main() {
+	var (
+		modelF     = flag.String("model", "lstm", "model preset")
+		clusterF   = flag.String("cluster", "nvlink", "cluster preset (nvlink, pcie)")
+		machines   = flag.Int("machines", 4, "GPU machines")
+		gpus       = flag.Int("gpus", 0, "GPUs per machine (0 = preset default)")
+		algo       = flag.String("algo", "dgc", "GC algorithm")
+		ratio      = flag.Float64("ratio", 0.01, "sparsifier ratio")
+		severities = flag.String("severities", "1,2,4,8,16", "comma-separated straggler severities (inter bandwidth divisors)")
+		parallel   = flag.Int("parallel", 0, "strategy-search workers (0 = one per CPU)")
+		jsonOut    = flag.String("json-out", "", "write the sweep rows as JSON")
+	)
+	flag.Parse()
+
+	m, err := model.ByName(*modelF)
+	if err != nil {
+		fatal(err)
+	}
+	var c *cluster.Cluster
+	switch *clusterF {
+	case "nvlink":
+		c = cluster.NVLinkTestbed(*machines)
+	case "pcie":
+		c = cluster.PCIeTestbed(*machines)
+	default:
+		fatal(fmt.Errorf("unknown cluster preset %q", *clusterF))
+	}
+	if *gpus > 0 {
+		c.GPUsPerMachine = *gpus
+	}
+	id, err := compress.ParseID(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	spec := compress.Spec{ID: id, Ratio: *ratio}
+	cm, err := cost.NewModels(c, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The healthy incumbent, selected once.
+	sel := core.NewSelector(m, c, cm)
+	sel.Parallelism = par.Workers(*parallel)
+	healthy, rep, err := sel.Select()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("healthy strategy: iteration %v, shape %s\n\n", rep.Iter, chaos.ShapeOf(healthy))
+
+	var rows []sweepRow
+	fmt.Printf("%-9s %-14s %-14s %-8s %-28s %s\n",
+		"severity", "incumbent", "re-selected", "gain", "shape after", "adopted")
+	for _, tok := range strings.Split(*severities, ",") {
+		sev, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || sev < 1 {
+			fatal(fmt.Errorf("bad severity %q (want >= 1)", tok))
+		}
+		_, rs, err := chaos.Reselect(m, c, spec, healthy, chaos.ReselectOptions{
+			InterScale:  1 / sev,
+			Parallelism: par.Workers(*parallel),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-9.3g %-14v %-14v %-8s %-28s %v\n",
+			sev, rs.Before.D(), rs.After.D(),
+			fmt.Sprintf("%.1f%%", 100*rs.Improvement), rs.AfterShape, rs.Adopted)
+		rows = append(rows, sweepRow{Severity: sev, InterScale: 1 / sev, Reselection: rs})
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote sweep to %s\n", *jsonOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espresso-chaos:", err)
+	os.Exit(1)
+}

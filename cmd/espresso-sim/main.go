@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"espresso/internal/baselines"
+	"espresso/internal/chaos"
 	"espresso/internal/cluster"
 	"espresso/internal/compress"
 	"espresso/internal/core"
@@ -66,6 +67,8 @@ func main() {
 		metrOut    = flag.String("metrics-out", "", "write a metrics-registry JSON file")
 		explain    = flag.Bool("explain", false, "print the selector's per-tensor decision log (espresso system only)")
 		analyzeOut = flag.String("analyze-out", "", "write an iteration-profile JSON (critical path, device stats, phase breakdown)")
+		chaosF     = flag.String("chaos", "", "fault-injection plan JSON; iterations run against the faulted network with retry/timeout recovery")
+		chaosOut   = flag.String("chaos-report", "", "write the chaos run report JSON (requires -chaos)")
 	)
 	flag.Parse()
 
@@ -192,10 +195,27 @@ func main() {
 		// a ring allreduce of the full gradient through netsim yields link
 		// utilization the α–β models cannot express.
 		if c.Machines > 1 {
-			nw := netsim.New(c.Machines, 5*time.Microsecond, c.InterBandwidth)
+			nw := netsim.MustNew(c.Machines, 5*time.Microsecond, c.InterBandwidth)
 			nw.RingAllreduce(m.TotalBytes())
 			nw.Observe(trace, metrics, obs.PhaseLink)
 		}
+	}
+
+	// Fault injection: iterations replay their inter-machine phases on a
+	// faulted message-level network, with the degradation monitor armed.
+	var runner *chaos.Runner
+	if *chaosF != "" {
+		plan, err := chaos.Load(*chaosF)
+		if err != nil {
+			fatal(err)
+		}
+		if runner, err = chaos.NewRunner(m, c, spec, s, plan); err != nil {
+			fatal(err)
+		}
+		runner.Parallelism = par.Workers(*parallel)
+		runner.Explain = *explain
+		runner.Trace = trace
+		runner.Metrics = metrics
 	}
 
 	// Execute the data plane with scaled-down tensors: per-GPU random
@@ -205,9 +225,34 @@ func main() {
 		fatal(err)
 	}
 	x.Metrics = metrics
+	if runner != nil {
+		x.Wire = runner.WireConfig()
+	}
 	rng := rand.New(rand.NewSource(1))
 	total := c.TotalGPUs()
 	for it := 0; it < *iters; it++ {
+		if runner != nil {
+			sample, err := runner.RunIteration(it)
+			if err != nil {
+				writeChaosReport(runner, *chaosOut)
+				fatal(err)
+			}
+			tag := ""
+			if sample.Breach {
+				tag = " [breach]"
+			}
+			fmt.Printf("chaos iteration %d: predicted %v observed %v (%d drops, %d retransmits)%s\n",
+				it, sample.Predicted, sample.Observed, sample.Drops, sample.Retransmits, tag)
+			if rs := runner.Report().Reselected; rs != nil && rs.Iteration == it {
+				fmt.Printf("degradation tripped at iteration %d (inter bandwidth at %.0f%%): re-selected %v -> %v (%.1f%% better, adopted=%v)\n",
+					it, 100*rs.InterScale, rs.Before, rs.After, 100*rs.Improvement, rs.Adopted)
+				fmt.Printf("  shape before: %s\n  shape after:  %s\n", rs.BeforeShape, rs.AfterShape)
+				if len(rs.Decisions) > 0 {
+					core.WriteDecisions(os.Stdout, rs.Decisions)
+				}
+				s = runner.Strategy // data plane follows the adopted strategy
+			}
+		}
 		for ti := range m.Tensors {
 			n := *scale
 			grads := make([][]float32, total)
@@ -260,6 +305,9 @@ func main() {
 			fmt.Printf("wrote iteration profile to %s\n", *analyzeOut)
 		}
 	}
+	if runner != nil {
+		writeChaosReport(runner, *chaosOut)
+	}
 	if *metrOut != "" {
 		tr := x.Traffic()
 		metrics.Gauge("ddl.traffic.intra.raw_bytes").Set(float64(tr.Intra.RawBytes))
@@ -271,6 +319,18 @@ func main() {
 		}
 		fmt.Printf("wrote metrics to %s\n", *metrOut)
 	}
+}
+
+// writeChaosReport writes the chaos run report when requested; it is
+// also invoked on the error path so an aborted run leaves evidence.
+func writeChaosReport(runner *chaos.Runner, path string) {
+	if path == "" {
+		return
+	}
+	if err := runner.Report().WriteJSON(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote chaos report to %s\n", path)
 }
 
 // writeFile streams one telemetry artifact to path.

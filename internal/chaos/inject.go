@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"espresso/internal/netsim"
+)
+
+// Transitions lowers the plan's link faults into a netsim transition
+// timeline for an n-node network whose healthy link bandwidth is
+// baseBps. Straggler and flap faults degrade to baseBps*Scale and
+// restore to baseBps at their window boundaries; loss faults set and
+// clear the loss rate. Overlapping faults on the same link resolve
+// last-transition-wins (netsim applies transitions in time order).
+func (p *Plan) Transitions(n int, baseBps float64) ([]netsim.Transition, error) {
+	if baseBps <= 0 {
+		return nil, fmt.Errorf("chaos: baseline bandwidth %g B/s, want > 0", baseBps)
+	}
+	var ts []netsim.Transition
+	link := func(f *Fault, at time.Duration, bps float64) (netsim.Transition, error) {
+		tr := netsim.Transition{At: at, Src: f.Src, Dst: f.Dst, Bps: bps, Loss: -1}
+		if f.Src < 0 {
+			tr.Src, tr.Dst = -1, -1
+		} else if f.Src >= n || f.Dst < 0 || f.Dst >= n {
+			return tr, fmt.Errorf("chaos: link %d->%d out of range for %d nodes", f.Src, f.Dst, n)
+		}
+		return tr, nil
+	}
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		switch f.Kind {
+		case Straggler:
+			deg, err := link(f, f.Start.D(), baseBps*f.Scale)
+			if err != nil {
+				return nil, err
+			}
+			ts = append(ts, deg)
+			if f.Duration > 0 {
+				rst, _ := link(f, f.Start.D()+f.Duration.D(), baseBps)
+				ts = append(ts, rst)
+			}
+		case Flap:
+			end := f.Start.D() + f.Duration.D()
+			degraded := false
+			for at := f.Start.D(); at < end; at += f.Period.D() {
+				bps := baseBps * f.Scale
+				if degraded {
+					bps = baseBps
+				}
+				degraded = !degraded
+				tr, err := link(f, at, bps)
+				if err != nil {
+					return nil, err
+				}
+				ts = append(ts, tr)
+			}
+			rst, _ := link(f, end, baseBps)
+			ts = append(ts, rst)
+		case Loss:
+			ts = append(ts, netsim.Transition{At: f.Start.D(), Src: -1, Dst: -1, Loss: f.Rate})
+			if f.Duration > 0 {
+				ts = append(ts, netsim.Transition{At: f.Start.D() + f.Duration.D(), Src: -1, Dst: -1, Loss: 0})
+			}
+		}
+	}
+	return ts, nil
+}
+
+// Arm installs the plan on a network: seeds the loss PRNG, sets the
+// retransmission policy, and programs the link-fault timeline against
+// the network's current (healthy) uniform bandwidth.
+func (p *Plan) Arm(nw *netsim.Network) error {
+	nw.Seed(p.Seed)
+	nw.SetRecovery(p.Retry.Recovery())
+	if nw.Nodes() < 2 {
+		return nil // no links to fault
+	}
+	base := nw.Snapshot()[0][1]
+	ts, err := p.Transitions(nw.Nodes(), base)
+	if err != nil {
+		return err
+	}
+	return nw.Program(ts)
+}

@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"time"
+
+	"espresso/internal/obs"
+)
+
+// Monitor detects sustained degradation. It implements obs.Recorder:
+// during each iteration window the runner feeds it the iteration's spans
+// (the same stream the trace exporter sees), and the monitor keeps the
+// latest span end — the observed makespan. When the observed iteration
+// exceeds the engine's prediction by Factor for Consecutive iterations
+// in a row, the monitor trips, signalling the runner to snapshot the
+// degraded topology and re-run strategy selection.
+type Monitor struct {
+	// Factor is the observed/predicted breach threshold (> 1).
+	Factor float64
+	// Consecutive is how many breaches in a row trip the monitor.
+	Consecutive int
+
+	winStart time.Duration
+	maxEnd   time.Duration
+	open     bool
+	breaches int
+	tripped  bool
+}
+
+// NewMonitor builds a monitor from plan configuration, applying the
+// defaults (factor 1.5, 3 consecutive breaches) to zero fields.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	mo := &Monitor{Factor: cfg.Factor, Consecutive: cfg.Consecutive}
+	if mo.Factor <= 1 {
+		mo.Factor = 1.5
+	}
+	if mo.Consecutive <= 0 {
+		mo.Consecutive = 3
+	}
+	return mo
+}
+
+// Enabled reports whether an iteration window is open.
+func (mo *Monitor) Enabled() bool { return mo.open }
+
+// Record folds one span into the open window's makespan.
+func (mo *Monitor) Record(sp obs.Span) {
+	if mo.open && sp.End > mo.maxEnd {
+		mo.maxEnd = sp.End
+	}
+}
+
+// BeginIteration opens an observation window starting at virtual time
+// `at` (spans recorded until EndIteration contribute to the makespan).
+func (mo *Monitor) BeginIteration(at time.Duration) {
+	mo.winStart, mo.maxEnd, mo.open = at, at, true
+}
+
+// EndIteration closes the window and classifies it against the engine's
+// prediction. It returns the observed makespan, whether this iteration
+// breached (observed > Factor*predicted), and whether the monitor is now
+// tripped (Consecutive breaches in a row).
+func (mo *Monitor) EndIteration(predicted time.Duration) (observed time.Duration, breach, tripped bool) {
+	observed = mo.maxEnd - mo.winStart
+	mo.open = false
+	breach = float64(observed) > mo.Factor*float64(predicted)
+	if breach {
+		mo.breaches++
+	} else {
+		mo.breaches = 0
+	}
+	if mo.breaches >= mo.Consecutive {
+		mo.tripped = true
+	}
+	return observed, breach, mo.tripped
+}
+
+// Tripped reports whether sustained degradation has been detected.
+func (mo *Monitor) Tripped() bool { return mo.tripped }
+
+// Reset clears breach state after the controller has acted (re-selection
+// adopted), so a later, different degradation can trip again.
+func (mo *Monitor) Reset() {
+	mo.breaches = 0
+	mo.tripped = false
+}
+
+// tee fans Record out to several recorders; nil entries are skipped.
+type tee struct{ rs []obs.Recorder }
+
+func (t tee) Enabled() bool {
+	for _, r := range t.rs {
+		if obs.Enabled(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t tee) Record(sp obs.Span) {
+	for _, r := range t.rs {
+		if obs.Enabled(r) {
+			r.Record(sp)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package chaos is the deterministic fault-injection layer of the
+// reproduction: a Plan schedules faults in virtual time (straggler
+// links, flapping links, message loss, slow devices, payload
+// corruption), a Runner executes a strategy's iterations against the
+// faulted message-level network with retry/timeout recovery semantics,
+// and a Monitor detects sustained degradation and triggers re-selection
+// of the compression strategy on the degraded topology.
+//
+// Everything is seeded and reproducible: the same plan and seed produce
+// bit-identical traces, samples, and re-selected strategies at any
+// search parallelism.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"espresso/internal/netsim"
+)
+
+// Duration is a time.Duration that unmarshals from either a duration
+// string ("5ms", "200us") or a bare number of nanoseconds, and marshals
+// as a string. Plan files use it everywhere a time appears.
+type Duration time.Duration
+
+// D is the underlying duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "5ms"-style strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("chaos: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	ns, err := strconv.ParseInt(string(data), 10, 64)
+	if err != nil {
+		return fmt.Errorf("chaos: duration must be a string like \"5ms\" or nanoseconds: %s", data)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// FaultKind names an injectable fault class.
+type FaultKind string
+
+const (
+	// Straggler scales one link's (or every link's) bandwidth down by
+	// Scale for the fault window.
+	Straggler FaultKind = "straggler"
+	// Flap alternates a link between degraded (Scale) and healthy every
+	// Period for the fault window.
+	Flap FaultKind = "flap"
+	// Loss drops each message with probability Rate for the window;
+	// dropped messages are retransmitted per the retry policy.
+	Loss FaultKind = "loss"
+	// SlowDevice multiplies compute and compression time on Device by
+	// Scale for the window.
+	SlowDevice FaultKind = "slow-device"
+	// Corrupt flips a byte of each encoded payload with probability
+	// Rate on the DDL data plane; corrupt arrivals are retransmitted.
+	Corrupt FaultKind = "corrupt"
+)
+
+// Fault is one scheduled fault. Fields beyond Kind/Start are
+// kind-specific; Validate enforces which apply.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// Src/Dst select a link for straggler/flap; -1 (or omitted src)
+	// means every link.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Scale is the bandwidth multiplier in (0, 1) for straggler/flap, or
+	// the slowdown multiplier >= 1 for slow-device.
+	Scale float64 `json:"scale,omitempty"`
+	// Rate is the per-message probability for loss/corrupt.
+	Rate float64 `json:"rate,omitempty"`
+	// Start opens the fault window; Duration closes it (0 = sustained to
+	// the end of the run).
+	Start    Duration `json:"start,omitempty"`
+	Duration Duration `json:"duration,omitempty"`
+	// Period is the flap cycle length (degraded for half the cycle).
+	Period Duration `json:"period,omitempty"`
+	// Device selects "gpu", "cpu", or "" (both) for slow-device.
+	Device string `json:"device,omitempty"`
+}
+
+// window reports whether t falls inside the fault's active window.
+func (f *Fault) window(t time.Duration) bool {
+	if t < f.Start.D() {
+		return false
+	}
+	return f.Duration <= 0 || t < f.Start.D()+f.Duration.D()
+}
+
+// RetryConfig mirrors netsim.Recovery in plan JSON; zero fields use the
+// netsim defaults.
+type RetryConfig struct {
+	Timeout     Duration `json:"timeout,omitempty"`
+	Backoff     float64  `json:"backoff,omitempty"`
+	MaxRTO      Duration `json:"max_rto,omitempty"`
+	MaxAttempts int      `json:"max_attempts,omitempty"`
+}
+
+// Recovery converts to the netsim policy.
+func (r RetryConfig) Recovery() netsim.Recovery {
+	return netsim.Recovery{
+		Timeout:     r.Timeout.D(),
+		Backoff:     r.Backoff,
+		MaxRTO:      r.MaxRTO.D(),
+		MaxAttempts: r.MaxAttempts,
+	}
+}
+
+// MonitorConfig sets the degradation detector's thresholds.
+type MonitorConfig struct {
+	// Factor is the observed/predicted ratio that counts as a breach
+	// (default 1.5).
+	Factor float64 `json:"factor,omitempty"`
+	// Consecutive is how many breaches in a row trip the detector
+	// (default 3).
+	Consecutive int `json:"consecutive,omitempty"`
+}
+
+// Plan is a complete fault schedule plus recovery and detection
+// configuration — the JSON file espresso-sim -chaos loads.
+type Plan struct {
+	// Seed drives every random draw (message loss, payload corruption).
+	Seed uint64 `json:"seed"`
+	// Deadline bounds each iteration's communication in virtual time;
+	// 0 disables the per-iteration deadline.
+	Deadline Duration `json:"deadline,omitempty"`
+	// Retry is the lost-message retransmission policy.
+	Retry RetryConfig `json:"retry,omitempty"`
+	// Monitor configures degradation detection.
+	Monitor MonitorConfig `json:"monitor,omitempty"`
+	// Faults is the schedule.
+	Faults []Fault `json:"faults"`
+}
+
+// Load reads and validates a plan file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse unmarshals and validates plan JSON.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("chaos: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate checks every fault's parameters.
+func (p *Plan) Validate() error {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		at := func(format string, args ...any) error {
+			return fmt.Errorf("chaos: fault %d (%s): %s", i, f.Kind, fmt.Sprintf(format, args...))
+		}
+		if f.Start < 0 || f.Duration < 0 || f.Period < 0 {
+			return at("negative times")
+		}
+		switch f.Kind {
+		case Straggler, Flap:
+			if f.Scale <= 0 || f.Scale >= 1 {
+				return at("scale %g, want (0, 1)", f.Scale)
+			}
+			if (f.Src < 0) != (f.Dst < 0) && f.Src != -1 {
+				return at("src/dst must both be set or src = -1 for every link")
+			}
+			if f.Kind == Flap {
+				if f.Period <= 0 {
+					return at("flap needs a positive period")
+				}
+				if f.Duration <= 0 {
+					return at("flap needs a bounded duration")
+				}
+				if f.Duration.D()/f.Period.D() > 10_000 {
+					return at("%d flap cycles, want <= 10000", f.Duration.D()/f.Period.D())
+				}
+			}
+		case Loss:
+			if f.Rate <= 0 || f.Rate >= 1 {
+				return at("rate %g, want (0, 1)", f.Rate)
+			}
+		case SlowDevice:
+			if f.Scale < 1 {
+				return at("scale %g, want >= 1", f.Scale)
+			}
+			switch f.Device {
+			case "", "gpu", "cpu":
+			default:
+				return at("device %q, want gpu, cpu, or empty", f.Device)
+			}
+		case Corrupt:
+			if f.Rate <= 0 || f.Rate > 1 {
+				return at("rate %g, want (0, 1]", f.Rate)
+			}
+		default:
+			return at("unknown kind")
+		}
+	}
+	if p.Monitor.Factor < 0 || (p.Monitor.Factor > 0 && p.Monitor.Factor <= 1) {
+		return fmt.Errorf("chaos: monitor factor %g, want > 1 (or 0 for default)", p.Monitor.Factor)
+	}
+	if p.Monitor.Consecutive < 0 {
+		return fmt.Errorf("chaos: monitor consecutive %d, want >= 0", p.Monitor.Consecutive)
+	}
+	return nil
+}
+
+// DeviceScalesAt reports the combined slow-device multipliers active at
+// virtual time t (1/1 = healthy). Overlapping faults compose
+// multiplicatively.
+func (p *Plan) DeviceScalesAt(t time.Duration) (gpu, cpu float64) {
+	gpu, cpu = 1, 1
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Kind != SlowDevice || !f.window(t) {
+			continue
+		}
+		switch f.Device {
+		case "gpu":
+			gpu *= f.Scale
+		case "cpu":
+			cpu *= f.Scale
+		default:
+			gpu *= f.Scale
+			cpu *= f.Scale
+		}
+	}
+	return gpu, cpu
+}
+
+// CorruptRate reports the payload-corruption probability active at t.
+func (p *Plan) CorruptRate(t time.Duration) float64 {
+	rate := 0.0
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Kind == Corrupt && f.window(t) && f.Rate > rate {
+			rate = f.Rate
+		}
+	}
+	return rate
+}
+
+// HasLinkFaults reports whether the plan touches the network at all
+// (straggler, flap, or loss).
+func (p *Plan) HasLinkFaults() bool {
+	for i := range p.Faults {
+		switch p.Faults[i].Kind {
+		case Straggler, Flap, Loss:
+			return true
+		}
+	}
+	return false
+}

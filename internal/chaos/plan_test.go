@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"espresso/internal/netsim"
+)
+
+func TestParseAcceptsStringsAndNanoseconds(t *testing.T) {
+	p, err := Parse([]byte(`{
+		"seed": 42,
+		"deadline": "5ms",
+		"retry": {"timeout": 200000, "max_attempts": 8},
+		"monitor": {"factor": 2.0, "consecutive": 2},
+		"faults": [
+			{"kind": "straggler", "src": -1, "scale": 0.25, "start": "1ms"},
+			{"kind": "flap", "src": 0, "dst": 1, "scale": 0.5, "start": "0s", "duration": "10ms", "period": "1ms"},
+			{"kind": "loss", "rate": 0.1, "start": "2ms", "duration": "3ms"},
+			{"kind": "slow-device", "scale": 4, "device": "gpu"},
+			{"kind": "corrupt", "rate": 0.5}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.Deadline.D() != 5*time.Millisecond {
+		t.Fatalf("header mis-parsed: %+v", p)
+	}
+	if p.Retry.Timeout.D() != 200*time.Microsecond || p.Retry.MaxAttempts != 8 {
+		t.Fatalf("retry mis-parsed: %+v", p.Retry)
+	}
+	if len(p.Faults) != 5 || p.Faults[0].Start.D() != time.Millisecond {
+		t.Fatalf("faults mis-parsed: %+v", p.Faults)
+	}
+	if !p.HasLinkFaults() {
+		t.Fatal("plan has link faults")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []string{
+		`{"faults": [{"kind": "straggler", "scale": 1.5}]}`,
+		`{"faults": [{"kind": "straggler", "scale": 0}]}`,
+		`{"faults": [{"kind": "flap", "scale": 0.5, "duration": "1ms"}]}`,
+		`{"faults": [{"kind": "flap", "scale": 0.5, "period": "1ms"}]}`,
+		`{"faults": [{"kind": "flap", "scale": 0.5, "period": "1us", "duration": "1s"}]}`,
+		`{"faults": [{"kind": "loss", "rate": 1.0}]}`,
+		`{"faults": [{"kind": "slow-device", "scale": 0.5}]}`,
+		`{"faults": [{"kind": "slow-device", "scale": 2, "device": "tpu"}]}`,
+		`{"faults": [{"kind": "corrupt", "rate": 0}]}`,
+		`{"faults": [{"kind": "meteor"}]}`,
+		`{"faults": [{"kind": "loss", "rate": 0.1, "start": "-1ms"}]}`,
+		`{"monitor": {"factor": 0.5}, "faults": []}`,
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("accepted invalid plan %s", src)
+		}
+	}
+}
+
+func TestDeviceScalesCompose(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Kind: SlowDevice, Scale: 2, Device: "gpu", Start: 0, Duration: Duration(10 * time.Millisecond)},
+		{Kind: SlowDevice, Scale: 3, Start: Duration(5 * time.Millisecond)},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at       time.Duration
+		gpu, cpu float64
+	}{
+		{0, 2, 1},
+		{7 * time.Millisecond, 6, 3},
+		{12 * time.Millisecond, 3, 3},
+	} {
+		gpu, cpu := p.DeviceScalesAt(tc.at)
+		if gpu != tc.gpu || cpu != tc.cpu {
+			t.Errorf("at %v: got %g/%g, want %g/%g", tc.at, gpu, cpu, tc.gpu, tc.cpu)
+		}
+	}
+}
+
+func TestCorruptRateWindow(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Kind: Corrupt, Rate: 0.25, Start: Duration(time.Millisecond), Duration: Duration(time.Millisecond)},
+	}}
+	if got := p.CorruptRate(0); got != 0 {
+		t.Fatalf("rate before window: %g", got)
+	}
+	if got := p.CorruptRate(1500 * time.Microsecond); got != 0.25 {
+		t.Fatalf("rate inside window: %g", got)
+	}
+	if got := p.CorruptRate(3 * time.Millisecond); got != 0 {
+		t.Fatalf("rate after window: %g", got)
+	}
+}
+
+func TestTransitionsLowering(t *testing.T) {
+	ms := Duration(time.Millisecond)
+	p := &Plan{Faults: []Fault{
+		{Kind: Straggler, Src: 0, Dst: 1, Scale: 0.25, Start: ms, Duration: 2 * ms},
+		{Kind: Flap, Src: -1, Scale: 0.5, Start: 0, Duration: 4 * ms, Period: ms},
+		{Kind: Loss, Rate: 0.1, Start: ms, Duration: ms},
+	}}
+	ts, err := p.Transitions(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straggler: degrade + restore. Flap: 4 toggles + final restore.
+	// Loss: set + clear. Total 2 + 5 + 2 = 9.
+	if len(ts) != 9 {
+		t.Fatalf("got %d transitions: %+v", len(ts), ts)
+	}
+	if ts[0].Bps != 0.25e9 || ts[1].Bps != 1e9 {
+		t.Fatalf("straggler lowering wrong: %+v %+v", ts[0], ts[1])
+	}
+	if ts[2].Src != -1 || ts[2].Bps != 0.5e9 {
+		t.Fatalf("flap lowering wrong: %+v", ts[2])
+	}
+	if ts[7].Loss != 0.1 || ts[8].Loss != 0 {
+		t.Fatalf("loss lowering wrong: %+v %+v", ts[7], ts[8])
+	}
+
+	// Out-of-range links are rejected.
+	bad := &Plan{Faults: []Fault{{Kind: Straggler, Src: 0, Dst: 9, Scale: 0.5}}}
+	if _, err := bad.Transitions(4, 1e9); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range link accepted: %v", err)
+	}
+}
+
+func TestArmProgramsNetwork(t *testing.T) {
+	nw := netsim.MustNew(4, 0, 1e9)
+	p := &Plan{Seed: 9, Faults: []Fault{
+		{Kind: Straggler, Src: -1, Scale: 0.5, Start: 0},
+	}}
+	if err := p.Arm(nw); err != nil {
+		t.Fatal(err)
+	}
+	// The transition applies lazily once time advances.
+	nw.Idle(time.Microsecond)
+	if got := nw.Snapshot()[0][1]; got != 0.5e9 {
+		t.Fatalf("straggler not applied: link at %g", got)
+	}
+}
+
+func TestMonitorTripsOnConsecutiveBreaches(t *testing.T) {
+	mo := NewMonitor(MonitorConfig{Factor: 1.5, Consecutive: 3})
+	pred := 10 * time.Millisecond
+	feed := func(observed time.Duration) (breach, tripped bool) {
+		mo.BeginIteration(0)
+		mo.Record(spanEnding(observed))
+		_, breach, tripped = mo.EndIteration(pred)
+		return breach, tripped
+	}
+
+	// Two breaches then a healthy iteration: counter resets.
+	feed(20 * time.Millisecond)
+	feed(20 * time.Millisecond)
+	if breach, tripped := feed(11 * time.Millisecond); breach || tripped {
+		t.Fatal("healthy iteration classified as breach")
+	}
+	// Three consecutive breaches trip.
+	feed(16 * time.Millisecond)
+	feed(16 * time.Millisecond)
+	if _, tripped := feed(16 * time.Millisecond); !tripped {
+		t.Fatal("three consecutive breaches did not trip")
+	}
+	if !mo.Tripped() {
+		t.Fatal("Tripped not latched")
+	}
+	mo.Reset()
+	if mo.Tripped() {
+		t.Fatal("Reset did not clear trip")
+	}
+}
+
+func TestMonitorDefaults(t *testing.T) {
+	mo := NewMonitor(MonitorConfig{})
+	if mo.Factor != 1.5 || mo.Consecutive != 3 {
+		t.Fatalf("defaults wrong: %+v", mo)
+	}
+}

@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+
+	"espresso/internal/netsim"
+)
+
+// IterationSample is one iteration's record in a chaos run.
+type IterationSample struct {
+	Iteration int `json:"iteration"`
+	// Predicted is the engine's iteration time under the analytic model
+	// for the strategy in force (device scales applied); Observed is the
+	// virtual-time makespan with the inter-machine phases replayed on the
+	// faulted message-level network.
+	Predicted Duration `json:"predicted"`
+	Observed  Duration `json:"observed"`
+	// Comm is the replayed inter-machine communication time.
+	Comm Duration `json:"comm"`
+	// Breach marks observed > factor*predicted for this iteration.
+	Breach bool `json:"breach,omitempty"`
+	// Drops/Retransmits are this iteration's message-loss counts.
+	Drops       int64 `json:"drops,omitempty"`
+	Retransmits int64 `json:"retransmits,omitempty"`
+	// WireRetries is this iteration's corrupt-payload retransmissions on
+	// the DDL data plane.
+	WireRetries int64 `json:"wire_retries,omitempty"`
+}
+
+// Report is the full record of a chaos run: the plan, every iteration's
+// sample, the re-selection (if the monitor tripped), and aggregate
+// network fault statistics.
+type Report struct {
+	Plan       *Plan             `json:"plan"`
+	Samples    []IterationSample `json:"samples"`
+	Reselected *Reselection      `json:"reselected,omitempty"`
+	Net        netsim.FaultStats `json:"net"`
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -113,6 +113,26 @@ func PCIeTestbed(machines int) *Cluster {
 	}
 }
 
+// Clone returns a copy of the description.
+func (c *Cluster) Clone() *Cluster {
+	out := *c
+	return &out
+}
+
+// WithBandwidthScale returns a copy whose intra- and inter-machine
+// bandwidths are multiplied by the given factors — the degraded-topology
+// snapshot the chaos controller feeds back into strategy selection.
+// Scales must be in (0, 1]: a fault can only remove bandwidth.
+func (c *Cluster) WithBandwidthScale(intra, inter float64) (*Cluster, error) {
+	if intra <= 0 || intra > 1 || inter <= 0 || inter > 1 {
+		return nil, fmt.Errorf("cluster: bandwidth scales %g/%g, want (0, 1]", intra, inter)
+	}
+	out := c.Clone()
+	out.IntraBandwidth *= intra
+	out.InterBandwidth *= inter
+	return out, nil
+}
+
 // TotalGPUs reports N*k.
 func (c *Cluster) TotalGPUs() int { return c.Machines * c.GPUsPerMachine }
 

@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -573,5 +574,33 @@ func TestDGCSampleCapDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("wire byte %d differs", i)
 		}
+	}
+}
+
+// Corruption anywhere in an encoded payload — header, counts, or body —
+// is rejected with a typed *CorruptError, and an untouched buffer still
+// decodes. This is the integrity contract the DDL wire-fault retry
+// machinery relies on.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	c := MustNew(Spec{ID: DGC, Ratio: 0.1})
+	p := c.Compress(randVec(rand.New(rand.NewSource(9)), 1000), 1)
+	buf := Encode(p)
+	for _, pos := range []int{0, 3, 11, payloadHeaderBytes + 2, len(buf) - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[pos] ^= 0x40
+		_, err := Decode(bad)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("flip at byte %d: got %v, want *CorruptError", pos, err)
+		}
+	}
+	// Truncation is also typed.
+	_, err := Decode(buf[:len(buf)-1])
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Errorf("truncated decode: got %v, want *CorruptError", err)
+	}
+	if q, err := Decode(buf); err != nil || q.N != p.N {
+		t.Fatalf("clean decode failed: %v", err)
 	}
 }

@@ -3,21 +3,45 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 )
 
 // payloadHeaderBytes is the fixed wire overhead of every payload:
-// algo(1) + flags(1) + n(4) + base(4) + counts(4).
-const payloadHeaderBytes = 14
+// algo(1) + flags(1) + n(4) + base(4) + counts(4) + crc(4).
+const payloadHeaderBytes = 18
+
+// crcOffset locates the IEEE CRC32 field within the header. The checksum
+// covers every encoded byte except the field itself.
+const crcOffset = 14
+
+// CorruptError reports an encoded payload that failed integrity checks —
+// too short for its header, truncated against its declared counts, or a
+// checksum mismatch. It models a corrupted wire transmission, which is
+// retryable: the receiver discards the payload and the sender
+// retransmits (see the DDL executor's wire fault handling).
+type CorruptError struct {
+	// Reason describes the failed check.
+	Reason string
+}
+
+func (e *CorruptError) Error() string { return "compress: corrupt payload: " + e.Reason }
+
+// checksum computes the payload CRC over buf with the crc field skipped.
+func checksum(buf []byte) uint32 {
+	c := crc32.ChecksumIEEE(buf[:crcOffset])
+	return crc32.Update(c, crc32.IEEETable, buf[crcOffset+4:])
+}
 
 // Encode serializes p to the deterministic little-endian wire format the
 // communication library exchanges. The layout is:
 //
-//	byte  0    algorithm ID
-//	byte  1    flags (bit0: has scale)
-//	bytes 2-5  N (uint32)
-//	bytes 6-9  Base (uint32)
+//	byte  0     algorithm ID
+//	byte  1     flags (bit0: has scale)
+//	bytes 2-5   N (uint32)
+//	bytes 6-9   Base (uint32)
 //	bytes 10-13 count of indices/values OR bitmap length (uint32)
+//	bytes 14-17 IEEE CRC32 of all other bytes
 //	[scale float32]
 //	[indices int32...][values float32...] | [bitmap...]
 func Encode(p *Payload) []byte {
@@ -40,11 +64,13 @@ func Encode(p *Payload) []byte {
 	switch {
 	case p.Algo == FP32:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Values)))
+		buf = append(buf, 0, 0, 0, 0) // crc slot, filled below
 		for _, v := range p.Values {
 			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 		}
 	case sparseLike(p.Algo):
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Indices)))
+		buf = append(buf, 0, 0, 0, 0)
 		for _, i := range p.Indices {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
 		}
@@ -53,16 +79,24 @@ func Encode(p *Payload) []byte {
 		}
 	default:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Bits)))
+		buf = append(buf, 0, 0, 0, 0)
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Scale))
 		buf = append(buf, p.Bits...)
 	}
+	binary.LittleEndian.PutUint32(buf[crcOffset:], checksum(buf))
 	return buf
 }
 
-// Decode parses a payload produced by Encode.
+// Decode parses a payload produced by Encode. Any integrity failure —
+// truncation or checksum mismatch — returns a *CorruptError; the
+// checksum is verified before the body is parsed, so a corrupted count
+// field cannot drive a huge allocation.
 func Decode(buf []byte) (*Payload, error) {
 	if len(buf) < payloadHeaderBytes {
-		return nil, fmt.Errorf("compress: wire payload of %d bytes shorter than header", len(buf))
+		return nil, &CorruptError{Reason: fmt.Sprintf("%d bytes shorter than %d-byte header", len(buf), payloadHeaderBytes)}
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[crcOffset:]), checksum(buf); got != want {
+		return nil, &CorruptError{Reason: fmt.Sprintf("checksum %08x, want %08x", got, want)}
 	}
 	p := &Payload{
 		Algo: ID(buf[0]),
@@ -74,7 +108,7 @@ func Decode(buf []byte) (*Payload, error) {
 	switch {
 	case p.Algo == FP32:
 		if len(rest) < 4*count {
-			return nil, fmt.Errorf("compress: fp32 payload truncated: %d bytes for %d values", len(rest), count)
+			return nil, &CorruptError{Reason: fmt.Sprintf("fp32 payload truncated: %d bytes for %d values", len(rest), count)}
 		}
 		p.Values = make([]float32, count)
 		for i := range p.Values {
@@ -82,7 +116,7 @@ func Decode(buf []byte) (*Payload, error) {
 		}
 	case sparseLike(p.Algo):
 		if len(rest) < 8*count {
-			return nil, fmt.Errorf("compress: sparse payload truncated: %d bytes for %d pairs", len(rest), count)
+			return nil, &CorruptError{Reason: fmt.Sprintf("sparse payload truncated: %d bytes for %d pairs", len(rest), count)}
 		}
 		p.Indices = make([]int32, count)
 		p.Values = make([]float32, count)
@@ -95,7 +129,7 @@ func Decode(buf []byte) (*Payload, error) {
 		}
 	default:
 		if len(rest) < 4+count {
-			return nil, fmt.Errorf("compress: quantized payload truncated: %d bytes for %d bitmap bytes", len(rest), count)
+			return nil, &CorruptError{Reason: fmt.Sprintf("quantized payload truncated: %d bytes for %d bitmap bytes", len(rest), count)}
 		}
 		p.Scale = math.Float32frombits(binary.LittleEndian.Uint32(rest))
 		p.Bits = make([]byte, count)

@@ -54,6 +54,11 @@ type Report struct {
 	// predicted iteration time against the final strategy, the winner,
 	// and the margin over the runner-up.
 	Decisions []TensorDecision
+
+	// ExplainTruncated reports that the Explain re-probe pass hit the
+	// selector's ProbeDeadline: Decisions covers only the tensors probed
+	// before the deadline.
+	ExplainTruncated bool
 }
 
 // Selector selects compression strategies for one (model, cluster, GC)
@@ -90,6 +95,14 @@ type Selector struct {
 	// results land in Report.Decisions. The extra probes roughly double
 	// a Select call's evaluation count, so it is opt-in.
 	Explain bool
+
+	// ProbeDeadline bounds the wall-clock time of the Explain re-probe
+	// pass (zero = unbounded). When re-selection runs inside a degraded
+	// iteration's budget, this keeps the decision log from running
+	// unbounded: tensors probed before the deadline keep their
+	// decisions, the rest are dropped and Report.ExplainTruncated is
+	// set.
+	ProbeDeadline time.Duration
 
 	eng        *timeline.Engine
 	pool       []*timeline.Engine // lazily grown worker engines; pool[0] == eng
@@ -145,6 +158,13 @@ func (sel *Selector) SetDevices(devs []cost.Device) {
 	}
 }
 
+// SetComputeScale sets the slow-device multiplier on the selector's
+// timeline engines: forward and backward compute take scale times longer
+// (1 = healthy). Worker-pool clones mirror the setting.
+func (sel *Selector) SetComputeScale(scale float64) {
+	sel.eng.ComputeScale = scale
+}
+
 func (sel *Selector) allows(dev cost.Device) bool {
 	for _, d := range sel.devices {
 		if d == dev {
@@ -162,10 +182,41 @@ func (sel *Selector) allowsCPU() bool {
 
 // Select runs the full pipeline: Algorithm 1 then CPU offloading.
 func (sel *Selector) Select() (*strategy.Strategy, *Report, error) {
+	return sel.selectFrom(nil)
+}
+
+// SelectFrom is Select warm-started with a prior strategy: the sweep's
+// seed is the better of prior and the standard seed family, so under the
+// selector's cost models the result is never worse than prior. The
+// degradation controller relies on this when re-selecting on a degraded
+// topology — switching away from the incumbent only ever helps.
+func (sel *Selector) SelectFrom(prior *strategy.Strategy) (*strategy.Strategy, *Report, error) {
+	if prior == nil {
+		return nil, nil, fmt.Errorf("core: SelectFrom with nil prior (use Select)")
+	}
+	if len(prior.PerTensor) != len(sel.M.Tensors) {
+		return nil, nil, fmt.Errorf("core: prior strategy covers %d tensors, model has %d",
+			len(prior.PerTensor), len(sel.M.Tensors))
+	}
+	return sel.selectFrom(prior)
+}
+
+func (sel *Selector) selectFrom(prior *strategy.Strategy) (*strategy.Strategy, *Report, error) {
 	start := time.Now()
 	rep := &Report{Candidates: len(sel.candidates)}
 
-	s, err := sel.Algorithm1(rep)
+	seed, err := sel.bestSeed(rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	if prior != nil {
+		// Prior goes first: bestOf breaks ties by lowest index, so the
+		// incumbent wins unless a seed is strictly better.
+		if seed, _, err = sel.bestOf([]*strategy.Strategy{prior.Clone(), seed}, rep); err != nil {
+			return nil, nil, err
+		}
+	}
+	s, err := sel.sweepFrom(seed, rep)
 	if err != nil {
 		return nil, nil, err
 	}

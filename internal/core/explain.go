@@ -76,11 +76,22 @@ func (sel *Selector) explainDecisions(s *strategy.Strategy, rep *Report) error {
 		}
 	}
 
+	// The re-probe pass is the selector's only unbounded loop over
+	// tensors x candidates after the sweep converged, so it is the one
+	// place a degraded topology (with its much slower probe evaluations)
+	// could run away. ProbeDeadline bounds it in wall-clock time; on
+	// expiry the log is truncated and flagged rather than abandoned.
+	probeStart := time.Now()
 	n := len(sel.M.Tensors)
 	decisions := make([]TensorDecision, n)
 	var probes []strategy.Option
 	var iters []time.Duration
 	for idx := 0; idx < n; idx++ {
+		if sel.ProbeDeadline > 0 && time.Since(probeStart) > sel.ProbeDeadline {
+			rep.Decisions = decisions[:idx]
+			rep.ExplainTruncated = true
+			return nil
+		}
 		chosen := s.PerTensor[idx]
 		cands, err := sel.candidatesFor(idx)
 		if err != nil {

@@ -2,11 +2,13 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"espresso/internal/cluster"
 	"espresso/internal/compress"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/strategy"
 )
 
 func explainSelector(t *testing.T, parallelism int) (*Selector, *model.Model) {
@@ -129,5 +131,81 @@ func TestExplainDeterministicAcrossParallelism(t *testing.T) {
 					i, j, d1.Candidates[j].Iter, d4.Candidates[j].Iter)
 			}
 		}
+	}
+}
+
+// A tight ProbeDeadline truncates the decision log instead of letting
+// the re-probe pass run unbounded; the selection itself is unaffected.
+func TestExplainProbeDeadlineTruncates(t *testing.T) {
+	sel, m := explainSelector(t, 1)
+	sel.ProbeDeadline = 1 // nanosecond: expires before the first tensor
+	s, rep, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ExplainTruncated {
+		t.Fatal("ExplainTruncated not set under a 1ns deadline")
+	}
+	if len(rep.Decisions) >= m.NumTensors() {
+		t.Fatalf("decision log has %d entries, expected truncation", len(rep.Decisions))
+	}
+	if len(s.PerTensor) != m.NumTensors() {
+		t.Fatalf("selection incomplete: %d options", len(s.PerTensor))
+	}
+
+	// An untruncated run does not set the flag.
+	sel2, _ := explainSelector(t, 1)
+	sel2.ProbeDeadline = time.Hour
+	_, rep2, err := sel2.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ExplainTruncated || len(rep2.Decisions) != m.NumTensors() {
+		t.Fatalf("generous deadline truncated: %d decisions, flag %v",
+			len(rep2.Decisions), rep2.ExplainTruncated)
+	}
+}
+
+// SelectFrom never returns a strategy worse than the prior under the
+// selector's own cost models — the guarantee degradation-triggered
+// re-selection depends on.
+func TestSelectFromNeverWorseThanPrior(t *testing.T) {
+	sel, m := explainSelector(t, 1)
+	sel.Explain = false
+
+	// Prior: the selector's own choice on a healthy cluster, then
+	// re-selected on a cluster with 10x less inter-machine bandwidth.
+	prior, _, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := sel.C.WithBandwidthScale(1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := cost.NewModels(degraded, sel.Cost.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsel := NewSelector(m, degraded, cm)
+	before := evalIter(t, m, degraded, cm, prior)
+	after, rep, err := dsel.SelectFrom(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalIter(t, m, degraded, cm, after)
+	if got > before {
+		t.Fatalf("SelectFrom made things worse on the degraded topology: %v > %v", got, before)
+	}
+	if rep.Iter != got {
+		t.Fatalf("report iter %v, engine says %v", rep.Iter, got)
+	}
+
+	// Mismatched prior is rejected.
+	if _, _, err := dsel.SelectFrom(&strategy.Strategy{}); err == nil {
+		t.Fatal("SelectFrom accepted a mismatched prior")
+	}
+	if _, _, err := dsel.SelectFrom(nil); err == nil {
+		t.Fatal("SelectFrom accepted a nil prior")
 	}
 }

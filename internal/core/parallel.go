@@ -41,6 +41,7 @@ func (sel *Selector) engines() []*timeline.Engine {
 	pool := sel.pool[:w]
 	for _, eng := range pool[1:] {
 		eng.ZeroCompression = sel.eng.ZeroCompression
+		eng.ComputeScale = sel.eng.ComputeScale
 	}
 	return pool
 }

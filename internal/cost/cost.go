@@ -202,6 +202,11 @@ type Models struct {
 	gpu        deviceProfile
 	cpu        deviceProfile
 	stagingBps float64
+	// gpuScale/cpuScale multiply compression and decompression times on
+	// the respective device (1 = healthy). WithDeviceScale sets them; the
+	// chaos layer uses them to model slow devices.
+	gpuScale float64
+	cpuScale float64
 }
 
 // NewModels builds the models for a cluster and compression algorithm.
@@ -238,7 +243,35 @@ func NewModels(c *cluster.Cluster, spec compress.Spec) (*Models, error) {
 		gpu:        gpu,
 		cpu:        cpu,
 		stagingBps: c.PCIeHostBandwidth,
+		gpuScale:   1,
+		cpuScale:   1,
 	}, nil
+}
+
+// WithDeviceScale returns a copy of the models whose compression and
+// decompression times are multiplied by gpuScale/cpuScale — a slowed
+// device (thermal throttling, contended cores). Scales must be >= 1: a
+// fault can only make a device slower.
+func (m *Models) WithDeviceScale(gpuScale, cpuScale float64) (*Models, error) {
+	if gpuScale < 1 || cpuScale < 1 {
+		return nil, fmt.Errorf("cost: device scales %g/%g, want >= 1", gpuScale, cpuScale)
+	}
+	out := *m
+	out.gpuScale = m.gpuScale * gpuScale
+	out.cpuScale = m.cpuScale * cpuScale
+	return &out, nil
+}
+
+// scaleOf is the fault multiplier for dev.
+func (m *Models) scaleOf(dev Device) float64 {
+	s := m.gpuScale
+	if dev == CPU {
+		s = m.cpuScale
+	}
+	if s == 0 { // zero-value Models built without NewModels
+		return 1
+	}
+	return s
 }
 
 // MustModels is NewModels for statically known configurations.
@@ -263,7 +296,8 @@ func (m *Models) CompressTime(dev Device, denseBytes int64) time.Duration {
 	if p.compBps == 0 {
 		return 0 // FP32 passthrough
 	}
-	return p.launch + time.Duration(float64(denseBytes)/p.compBps*float64(time.Second))
+	base := p.launch + time.Duration(float64(denseBytes)/p.compBps*float64(time.Second))
+	return time.Duration(float64(base) * m.scaleOf(dev))
 }
 
 // DecompressTime models decompressing copies payloads that each cover
@@ -277,9 +311,10 @@ func (m *Models) DecompressTime(dev Device, denseBytes int64, copies int) time.D
 		return 0
 	}
 	wire := float64(m.WireBytes(denseBytes)) * float64(copies)
-	return p.launch + time.Duration(copies-1)*p.perPayload +
+	base := p.launch + time.Duration(copies-1)*p.perPayload +
 		time.Duration(wire/p.decompBps*float64(time.Second)) +
 		time.Duration(float64(denseBytes)/p.denseBps*float64(time.Second))
+	return time.Duration(float64(base) * m.scaleOf(dev))
 }
 
 // StagingTime models one PCIe transfer of bytes between GPU and host

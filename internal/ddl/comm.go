@@ -221,6 +221,11 @@ func (x *Executor) commCompressed(st strategy.Step, states []nodeState, group []
 			return fmt.Errorf("GPU %d holds dense data in a compressed step", g)
 		}
 	}
+	// Everything a compressed step communicates crosses the wire codec
+	// first (a no-op without fault injection configured).
+	if err := x.transmitStates(states, act); err != nil {
+		return err
+	}
 	switch st.Routine {
 	case strategy.Allgather:
 		if st.Second {

@@ -33,6 +33,11 @@ type Executor struct {
 	// payload kind plus a per-tensor compression-ratio histogram.
 	Metrics *obs.Metrics
 
+	// Wire, when non-nil, routes every compressed payload through the
+	// encode/decode wire codec with optional fault injection and
+	// bounded retransmission (see WireConfig).
+	Wire *WireConfig
+
 	comp compress.Compressor
 	// ef holds per-GPU error-feedback state, keyed inside by tensor
 	// name and region.

@@ -1,0 +1,92 @@
+package ddl
+
+import (
+	"errors"
+	"fmt"
+
+	"espresso/internal/compress"
+)
+
+// WireConfig makes every compressed payload cross the simulated wire as
+// encoded bytes: before a compressed communication step, each active
+// payload is encoded, passed through Fault (which may corrupt or
+// truncate the buffer), and decoded on arrival. A corrupt arrival
+// (*compress.CorruptError) is retried — modeling retransmission of the
+// same payload — up to MaxAttempts; exhaustion surfaces a typed
+// *WireFaultError from the executor. A single corrupt transmission is
+// therefore invisible in the synchronized result: the retry delivers the
+// identical bytes.
+type WireConfig struct {
+	// Fault may mutate and/or return a different view of the encoded
+	// buffer. It receives a private copy per attempt. A nil Fault makes
+	// the round trip lossless (still exercising the codec).
+	Fault func(buf []byte) []byte
+	// MaxAttempts bounds transmissions per payload; <= 0 means 4.
+	MaxAttempts int
+}
+
+// WireFaultError reports a payload whose every transmission attempt
+// arrived corrupt. It wraps the final *compress.CorruptError.
+type WireFaultError struct {
+	Attempts int
+	Err      error
+}
+
+func (e *WireFaultError) Error() string {
+	return fmt.Sprintf("ddl: payload corrupt after %d transmission attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *WireFaultError) Unwrap() error { return e.Err }
+
+// transmitPayload round-trips one payload through the wire codec under
+// the executor's fault model.
+func (x *Executor) transmitPayload(p *compress.Payload) (*compress.Payload, error) {
+	max := x.Wire.MaxAttempts
+	if max <= 0 {
+		max = 4
+	}
+	buf := compress.Encode(p)
+	for attempt := 1; ; attempt++ {
+		recv := buf
+		if x.Wire.Fault != nil {
+			recv = x.Wire.Fault(append([]byte(nil), buf...))
+		}
+		q, err := compress.Decode(recv)
+		if err == nil {
+			if x.Metrics != nil && attempt > 1 {
+				x.Metrics.Counter("ddl.wire.retransmits").Add(int64(attempt - 1))
+			}
+			return q, nil
+		}
+		var ce *compress.CorruptError
+		if !errors.As(err, &ce) {
+			return nil, err
+		}
+		if x.Metrics != nil {
+			x.Metrics.Counter("ddl.wire.corrupt").Add(1)
+		}
+		if attempt >= max {
+			return nil, &WireFaultError{Attempts: attempt, Err: err}
+		}
+	}
+}
+
+// transmitStates round-trips every active member's payload list through
+// the wire. It is a no-op without a WireConfig, so the fault-free data
+// plane pays nothing.
+func (x *Executor) transmitStates(states []nodeState, act []int) error {
+	if x.Wire == nil {
+		return nil
+	}
+	for _, g := range act {
+		s := &states[g]
+		for i, p := range s.payloads {
+			q, err := x.transmitPayload(p)
+			if err != nil {
+				return fmt.Errorf("GPU %d payload %d: %w", g, i, err)
+			}
+			s.payloads[i] = q
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package ddl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"espresso/internal/compress"
+	"espresso/internal/strategy"
+)
+
+// sync runs one compressed SyncTensor on a fresh executor with the given
+// wire config and returns the synchronized result.
+func syncWithWire(t *testing.T, wire *WireConfig, opt strategy.Option) [][]float32 {
+	t.Helper()
+	c := testCluster()
+	x, err := NewExecutor(c, compress.Spec{ID: compress.DGC, Ratio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Wire = wire
+	grads := randGrads(rand.New(rand.NewSource(3)), c.TotalGPUs(), 64)
+	out, err := x.SyncTensor("t", grads, opt, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func compressedOptions(t *testing.T) []strategy.Option {
+	t.Helper()
+	var opts []strategy.Option
+	for _, opt := range strategy.Enumerate(testCluster()) {
+		if opt.Compressed() {
+			opts = append(opts, opt)
+		}
+	}
+	if len(opts) == 0 {
+		t.Fatal("no compressed options")
+	}
+	return opts
+}
+
+// A lossless wire round trip (encode/decode with no faults) is invisible:
+// the synchronized gradient is byte-identical with and without it, for
+// every compressed option in the search space.
+func TestWireRoundTripIsLossless(t *testing.T) {
+	for _, opt := range compressedOptions(t) {
+		clean := syncWithWire(t, nil, opt)
+		wired := syncWithWire(t, &WireConfig{}, opt)
+		for g := range clean {
+			for j := range clean[g] {
+				if clean[g][j] != wired[g][j] {
+					t.Fatalf("%v: wire round trip changed GPU %d element %d: %v vs %v",
+						opt, g, j, clean[g][j], wired[g][j])
+				}
+			}
+		}
+	}
+}
+
+// Corrupting every payload's first transmission is healed by the retry:
+// the result still byte-matches the fault-free run, and the corruption is
+// visible only in the retransmission counter.
+func TestWireCorruptionHealedByRetry(t *testing.T) {
+	opt := compressedOptions(t)[0]
+	clean := syncWithWire(t, nil, opt)
+
+	n := 0
+	corruptFirst := func(buf []byte) []byte {
+		n++
+		if n%2 == 1 { // every payload's first transmission arrives corrupt
+			buf[len(buf)/2] ^= 0xff
+		}
+		return buf
+	}
+	faulty := syncWithWire(t, &WireConfig{Fault: corruptFirst, MaxAttempts: 4}, opt)
+	if n == 0 {
+		t.Fatal("fault hook never invoked")
+	}
+	for g := range clean {
+		for j := range clean[g] {
+			if clean[g][j] != faulty[g][j] {
+				t.Fatalf("retried corruption changed GPU %d element %d: %v vs %v",
+					g, j, clean[g][j], faulty[g][j])
+			}
+		}
+	}
+}
+
+// A payload that arrives corrupt on every attempt exhausts the budget
+// and surfaces a typed *WireFaultError from SyncTensor.
+func TestWireFaultExhaustionIsTyped(t *testing.T) {
+	opt := compressedOptions(t)[0]
+	c := testCluster()
+	x, err := NewExecutor(c, compress.Spec{ID: compress.DGC, Ratio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Wire = &WireConfig{
+		Fault:       func(buf []byte) []byte { return buf[:len(buf)-3] },
+		MaxAttempts: 3,
+	}
+	grads := randGrads(rand.New(rand.NewSource(3)), c.TotalGPUs(), 64)
+	_, err = x.SyncTensor("t", grads, opt, 11)
+	var we *WireFaultError
+	if !errors.As(err, &we) {
+		t.Fatalf("got %v, want *WireFaultError", err)
+	}
+	if we.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", we.Attempts)
+	}
+	var ce *compress.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("WireFaultError does not wrap *CorruptError: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+// Fault-injection support for the message-level network simulator: typed
+// errors for aborted operations, retransmission policy for lossy links,
+// and a programmable timeline of link-state transitions. Everything here
+// is deterministic — loss is drawn from a seeded private PRNG, and fault
+// transitions are applied lazily as virtual time crosses them, never
+// through the event queue (so a collective's Run never dispatches a
+// fault event that belongs to a later window).
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DeadlineError reports a collective aborted because it crossed its
+// armed virtual-time deadline. The network's clock is left at the last
+// event dispatched before the deadline and every pending event (stranded
+// messages, retransmission timers) has been discarded.
+type DeadlineError struct {
+	// Deadline is the absolute virtual instant the operation was allowed
+	// to run until.
+	Deadline time.Duration
+	// Elapsed is how long the operation ran before the abort.
+	Elapsed time.Duration
+	// Pending counts the events discarded at the abort.
+	Pending int
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("netsim: collective exceeded deadline %v after %v (%d events discarded)",
+		e.Deadline, e.Elapsed, e.Pending)
+}
+
+// DeliveryError reports a message that exhausted its retransmission
+// budget on a lossy link.
+type DeliveryError struct {
+	Src, Dst int
+	// Attempts is the number of transmissions tried, including the first.
+	Attempts int
+}
+
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("netsim: message %d->%d lost after %d attempts", e.Src, e.Dst, e.Attempts)
+}
+
+// Recovery is the retransmission policy for lost messages: a lost message
+// is retried after Timeout, then Timeout*Backoff, and so on, capped at
+// MaxRTO, up to MaxAttempts total transmissions. The zero value means
+// "use defaults" (see DefaultRecovery).
+type Recovery struct {
+	// Timeout is the base retransmission timeout (RTO) after a loss.
+	Timeout time.Duration
+	// Backoff is the multiplicative RTO growth per consecutive loss of
+	// the same message; values <= 1 disable growth.
+	Backoff float64
+	// MaxRTO caps the backed-off timeout.
+	MaxRTO time.Duration
+	// MaxAttempts bounds total transmissions of one message; exceeding it
+	// surfaces a DeliveryError from the collective.
+	MaxAttempts int
+}
+
+// DefaultRecovery returns the retransmission defaults: 200µs base
+// timeout, 2x backoff capped at 5ms, 16 attempts.
+func DefaultRecovery() Recovery {
+	return Recovery{Timeout: 200 * time.Microsecond, Backoff: 2, MaxRTO: 5 * time.Millisecond, MaxAttempts: 16}
+}
+
+// withDefaults fills zero fields from DefaultRecovery.
+func (r Recovery) withDefaults() Recovery {
+	d := DefaultRecovery()
+	if r.Timeout <= 0 {
+		r.Timeout = d.Timeout
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = d.Backoff
+	}
+	if r.MaxRTO <= 0 {
+		r.MaxRTO = d.MaxRTO
+	}
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = d.MaxAttempts
+	}
+	return r
+}
+
+// rto is the retransmission timeout after `attempt` prior transmissions
+// (attempt >= 1 for the first retry).
+func (r Recovery) rto(attempt int) time.Duration {
+	t := float64(r.Timeout) * math.Pow(r.Backoff, float64(attempt-1))
+	if capped := float64(r.MaxRTO); t > capped {
+		t = capped
+	}
+	return time.Duration(t)
+}
+
+// Transition is one scheduled change of network fault state, applied when
+// virtual time reaches At. Transitions never enter the event queue: the
+// network applies them lazily whenever it computes a transfer, so a
+// collective's event loop only ever dispatches message events.
+type Transition struct {
+	// At is the absolute virtual time of the change.
+	At time.Duration
+	// Src, Dst select the link to change; Src = -1 selects every link.
+	Src, Dst int
+	// Bps is the link's new bandwidth; 0 leaves bandwidth unchanged.
+	Bps float64
+	// Loss is the network's new message-loss probability in [0, 1);
+	// a negative value leaves the loss rate unchanged.
+	Loss float64
+}
+
+// FaultStats aggregates the network's fault activity since construction.
+type FaultStats struct {
+	// Sent counts transmissions, including retransmissions.
+	Sent int
+	// Dropped counts transmissions lost in flight.
+	Dropped int
+	// Retransmits counts retry transmissions (Dropped messages that were
+	// retried; equals Dropped unless a message exhausted its attempts).
+	Retransmits int
+	// DeliveredBytes and WastedBytes split the traffic into payload that
+	// arrived and payload burned by drops.
+	DeliveredBytes int64
+	WastedBytes    int64
+}
+
+// rng64 is a splitmix64 PRNG — a private copy so netsim's loss draws
+// never depend on math/rand's global stream or Go-version changes.
+type rng64 struct{ s uint64 }
+
+func (r *rng64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

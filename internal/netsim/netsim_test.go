@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -24,20 +25,32 @@ func within(t *testing.T, name string, got, want time.Duration, tolPct float64) 
 	}
 }
 
+// ok returns an unwrapper for fault-free collective results, so calls
+// compose as ok(t)(nw.RingAllreduce(bytes)).
+func ok(t *testing.T) func(d time.Duration, err error) time.Duration {
+	return func(d time.Duration, err error) time.Duration {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("fault-free collective failed: %v", err)
+		}
+		return d
+	}
+}
+
 // With zero latency the message-level simulation must match the α–β
 // closed forms exactly (up to integer chunking).
 func TestRingMatchesModelZeroLatency(t *testing.T) {
 	link := cost.Link{Alpha: 0, Bps: bps}
 	for _, n := range []int{2, 4, 8} {
-		nw := New(n, 0, bps)
+		nw := MustNew(n, 0, bps)
 		bytes := int64(64 << 20)
-		within(t, "allreduce", nw.RingAllreduce(bytes), link.Allreduce(n, bytes), 1)
+		within(t, "allreduce", ok(t)(nw.RingAllreduce(bytes)), link.Allreduce(n, bytes), 1)
 
-		nw = New(n, 0, bps)
-		within(t, "allgather", nw.RingAllgather(1<<20), link.Allgather(n, 1<<20), 1)
+		nw = MustNew(n, 0, bps)
+		within(t, "allgather", ok(t)(nw.RingAllgather(1<<20)), link.Allgather(n, 1<<20), 1)
 
-		nw = New(n, 0, bps)
-		within(t, "reduce-scatter", nw.RingReduceScatter(bytes), link.ReduceScatter(n, bytes), 1)
+		nw = MustNew(n, 0, bps)
+		within(t, "reduce-scatter", ok(t)(nw.RingReduceScatter(bytes)), link.ReduceScatter(n, bytes), 1)
 	}
 }
 
@@ -48,17 +61,17 @@ func TestModelsFaithfulWithLatency(t *testing.T) {
 	link := cost.Link{Alpha: alpha, Bps: bps}
 	for _, n := range []int{4, 8, 16} {
 		bytes := int64(16 << 20)
-		nw := New(n, alpha, bps)
-		within(t, "allreduce", nw.RingAllreduce(bytes), link.Allreduce(n, bytes), 15)
+		nw := MustNew(n, alpha, bps)
+		within(t, "allreduce", ok(t)(nw.RingAllreduce(bytes)), link.Allreduce(n, bytes), 15)
 
-		nw = New(n, alpha, bps)
-		within(t, "allgather", nw.RingAllgather(1<<20), link.Allgather(n, 1<<20), 15)
+		nw = MustNew(n, alpha, bps)
+		within(t, "allgather", ok(t)(nw.RingAllgather(1<<20)), link.Allgather(n, 1<<20), 15)
 
-		nw = New(n, alpha, bps)
-		within(t, "alltoall", nw.Alltoall(8<<20), link.Alltoall(n, 8<<20), 25)
+		nw = MustNew(n, alpha, bps)
+		within(t, "alltoall", ok(t)(nw.Alltoall(8<<20)), link.Alltoall(n, 8<<20), 25)
 
-		nw = New(n, alpha, bps)
-		within(t, "broadcast", nw.TreeBroadcast(4<<20), link.Broadcast(n, 4<<20), 25)
+		nw = MustNew(n, alpha, bps)
+		within(t, "broadcast", ok(t)(nw.TreeBroadcast(4<<20)), link.Broadcast(n, 4<<20), 25)
 	}
 }
 
@@ -67,12 +80,14 @@ func TestModelsFaithfulWithLatency(t *testing.T) {
 func TestStragglerSlowsRing(t *testing.T) {
 	n := 8
 	bytes := int64(64 << 20)
-	fast := New(n, 0, bps)
-	base := fast.RingAllreduce(bytes)
+	fast := MustNew(n, 0, bps)
+	base := ok(t)(fast.RingAllreduce(bytes))
 
-	slow := New(n, 0, bps)
-	slow.SetLink(3, 4, bps/4)
-	degraded := slow.RingAllreduce(bytes)
+	slow := MustNew(n, 0, bps)
+	if err := slow.SetLink(3, 4, bps/4); err != nil {
+		t.Fatal(err)
+	}
+	degraded := ok(t)(slow.RingAllreduce(bytes))
 	if degraded <= base {
 		t.Fatalf("straggler did not slow the ring: %v <= %v", degraded, base)
 	}
@@ -83,12 +98,12 @@ func TestStragglerSlowsRing(t *testing.T) {
 }
 
 func TestSingleNodeIsFree(t *testing.T) {
-	nw := New(1, time.Millisecond, bps)
-	if nw.RingAllreduce(1<<20) != 0 {
+	nw := MustNew(1, time.Millisecond, bps)
+	if ok(t)(nw.RingAllreduce(1<<20)) != 0 {
 		t.Fatal("single-node allreduce should be free")
 	}
-	nw = New(1, time.Millisecond, bps)
-	if nw.TreeBroadcast(1<<20) != 0 {
+	nw = MustNew(1, time.Millisecond, bps)
+	if ok(t)(nw.TreeBroadcast(1<<20)) != 0 {
 		t.Fatal("single-node broadcast should be free")
 	}
 }
@@ -97,8 +112,8 @@ func TestBroadcastReachesAllNodeCounts(t *testing.T) {
 	// Completion time grows with ceil(log2 n) tree depth.
 	prev := time.Duration(0)
 	for _, n := range []int{2, 4, 8, 16} {
-		nw := New(n, 0, bps)
-		d := nw.TreeBroadcast(32 << 20)
+		nw := MustNew(n, 0, bps)
+		d := ok(t)(nw.TreeBroadcast(32 << 20))
 		if d < prev {
 			t.Fatalf("broadcast time decreased from %v to %v at n=%d", prev, d, n)
 		}
@@ -112,8 +127,167 @@ func TestSelfSendPanics(t *testing.T) {
 			t.Fatal("self-send did not panic")
 		}
 	}()
-	nw := New(2, 0, bps)
+	nw := MustNew(2, 0, bps)
 	nw.send(1, 1, 10, func() {})
+}
+
+// Construction and link mutation reject invalid arguments with errors,
+// not panics: fault plans come from user JSON.
+func TestConstructionAndLinkErrors(t *testing.T) {
+	if _, err := New(0, 0, bps); err == nil {
+		t.Error("New accepted 0 nodes")
+	}
+	if _, err := New(-3, 0, bps); err == nil {
+		t.Error("New accepted negative nodes")
+	}
+	if _, err := New(4, 0, 0); err == nil {
+		t.Error("New accepted zero bandwidth")
+	}
+	nw := MustNew(4, 0, bps)
+	for _, bad := range [][3]float64{{-1, 0, bps}, {0, 4, bps}, {4, 0, bps}, {0, 1, 0}, {0, 1, -5}} {
+		if err := nw.SetLink(int(bad[0]), int(bad[1]), bad[2]); err == nil {
+			t.Errorf("SetLink(%v) accepted invalid arguments", bad)
+		}
+	}
+	if err := nw.SetLink(0, 1, bps/2); err != nil {
+		t.Errorf("valid SetLink failed: %v", err)
+	}
+}
+
+// Snapshot is a deep copy of the current link state.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	nw := MustNew(3, 0, bps)
+	if err := nw.SetLink(1, 2, bps/8); err != nil {
+		t.Fatal(err)
+	}
+	snap := nw.Snapshot()
+	if snap[1][2] != bps/8 || snap[0][1] != bps {
+		t.Fatalf("snapshot does not reflect link state: %v", snap)
+	}
+	snap[0][1] = 1 // mutating the copy must not touch the network
+	if nw.Snapshot()[0][1] != bps {
+		t.Fatal("Snapshot aliases internal state")
+	}
+}
+
+// Loss makes a collective slower (retransmissions cost simulated time)
+// but it still completes; the same seed reproduces the exact duration.
+func TestLossRetransmitsDeterministically(t *testing.T) {
+	run := func(seed uint64) (time.Duration, FaultStats) {
+		nw := MustNew(4, time.Microsecond, 1e9)
+		nw.Seed(seed)
+		if err := nw.SetLoss(0.2); err != nil {
+			t.Fatal(err)
+		}
+		d := ok(t)(nw.RingAllreduce(4 << 20))
+		return d, nw.Stats()
+	}
+	clean := MustNew(4, time.Microsecond, 1e9)
+	base := ok(t)(clean.RingAllreduce(4 << 20))
+
+	d1, st1 := run(7)
+	d2, st2 := run(7)
+	if d1 != d2 || st1 != st2 {
+		t.Fatalf("same seed diverged: %v/%+v vs %v/%+v", d1, st1, d2, st2)
+	}
+	if st1.Dropped == 0 || st1.Retransmits != st1.Dropped {
+		t.Fatalf("expected drops fully retried, got %+v", st1)
+	}
+	if d1 <= base {
+		t.Fatalf("lossy run not slower: %v <= %v", d1, base)
+	}
+	if d3, st3 := run(8); d3 == d1 && st3 == st1 {
+		t.Fatalf("different seeds produced identical runs (%v, %+v)", d1, st1)
+	}
+}
+
+// Exhausting the retransmission budget surfaces a typed DeliveryError
+// instead of hanging the event loop.
+func TestDeliveryErrorAfterMaxAttempts(t *testing.T) {
+	nw := MustNew(2, 0, 1e9)
+	nw.Seed(1)
+	nw.SetRecovery(Recovery{Timeout: time.Microsecond, MaxAttempts: 2})
+	if err := nw.SetLoss(0.999999); err != nil {
+		t.Fatal(err)
+	}
+	_, err := nw.RingAllreduce(1 << 20)
+	var de *DeliveryError
+	if !errors.As(err, &de) {
+		t.Fatalf("got %v, want *DeliveryError", err)
+	}
+	if de.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", de.Attempts)
+	}
+}
+
+// An armed deadline aborts a stalled collective with a typed error and
+// leaves the queue empty for the next operation.
+func TestDeadlineAborts(t *testing.T) {
+	nw := MustNew(4, 0, 1e6) // 1 MB/s: a 64 MB allreduce takes ~96 s virtual
+	nw.ArmDeadline(10 * time.Millisecond)
+	_, err := nw.RingAllreduce(64 << 20)
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("got %v, want *DeadlineError", err)
+	}
+	if de.Pending == 0 {
+		t.Fatal("deadline error reports no discarded events")
+	}
+	// The queue is clean: a fast follow-up collective succeeds.
+	nw.Reset()
+	nw.ArmDeadline(time.Hour)
+	if d := ok(t)(nw.RingAllreduce(1 << 10)); d <= 0 {
+		t.Fatalf("follow-up collective after abort: %v", d)
+	}
+}
+
+// A programmed transition timeline degrades and restores a link while a
+// sequence of collectives runs, without fault events entering the queue.
+func TestProgramAppliesTransitionsLazily(t *testing.T) {
+	mk := func() *Network { return MustNew(4, 0, 1e9) }
+
+	// Baseline: two identical back-to-back allreduces.
+	base := mk()
+	d1 := ok(t)(base.RingAllreduce(4 << 20))
+	base.Reset()
+	d2 := ok(t)(base.RingAllreduce(4 << 20))
+	if d1 != d2 {
+		t.Fatalf("baseline not stable: %v vs %v", d1, d2)
+	}
+
+	// Degrade every link 8x from t=0; with zero latency the degraded
+	// collective takes exactly 8*d1, so restore right at its finish.
+	faulty := mk()
+	if err := faulty.Program([]Transition{
+		{At: 0, Src: -1, Bps: 1e9 / 8, Loss: -1},
+		{At: 8 * d1, Src: -1, Bps: 1e9, Loss: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	slow := ok(t)(faulty.RingAllreduce(4 << 20))
+	if float64(slow) < 6*float64(d1) {
+		t.Fatalf("degraded collective only %v vs healthy %v", slow, d1)
+	}
+	// The restore transition fired with the collective's final arrival.
+	if got := faulty.Snapshot()[0][1]; got != 1e9 {
+		t.Fatalf("snapshot after restore: %v, want healthy", got)
+	}
+	faulty.Reset()
+	restored := ok(t)(faulty.RingAllreduce(4 << 20))
+	if restored != d1 {
+		t.Fatalf("restored collective %v, want healthy %v", restored, d1)
+	}
+
+	// Invalid transitions are rejected.
+	if err := mk().Program([]Transition{{At: 0, Src: 9, Dst: 0, Bps: 1, Loss: -1}}); err == nil {
+		t.Error("Program accepted out-of-range link")
+	}
+	if err := mk().Program([]Transition{{At: 0, Src: 0, Dst: 1, Bps: -2, Loss: -1}}); err == nil {
+		t.Error("Program accepted negative bandwidth")
+	}
+	if err := mk().Program([]Transition{{At: 0, Src: -1, Loss: 1.5}}); err == nil {
+		t.Error("Program accepted loss >= 1")
+	}
 }
 
 // The message-level hierarchical composition agrees with the timeline
@@ -144,8 +318,8 @@ func TestHierarchicalMatchesTimelineChain(t *testing.T) {
 // Link telemetry: a symmetric ring keeps every egress link equally busy,
 // utilization lands in (0, 1], and spans/metrics surface through obs.
 func TestLinkStatsAndObserve(t *testing.T) {
-	nw := New(4, 2*time.Microsecond, 1e9)
-	nw.RingAllreduce(4 << 20)
+	nw := MustNew(4, 2*time.Microsecond, 1e9)
+	ok(t)(nw.RingAllreduce(4 << 20))
 
 	stats := nw.LinkStats()
 	if len(stats) != 4 {
@@ -193,9 +367,11 @@ func TestLinkStatsAndObserve(t *testing.T) {
 // A straggler link must show up as skewed utilization — the
 // heterogeneity signal the closed forms cannot express.
 func TestLinkStatsExposeStraggler(t *testing.T) {
-	nw := New(4, time.Microsecond, 1e9)
-	nw.SetLink(0, 1, 1e8) // node 0's egress is 10x slower
-	nw.RingAllreduce(4 << 20)
+	nw := MustNew(4, time.Microsecond, 1e9)
+	if err := nw.SetLink(0, 1, 1e8); err != nil { // node 0's egress is 10x slower
+		t.Fatal(err)
+	}
+	ok(t)(nw.RingAllreduce(4 << 20))
 	stats := nw.LinkStats()
 	if stats[0].Busy <= stats[1].Busy {
 		t.Fatalf("straggler link not busier: node0 %v vs node1 %v", stats[0].Busy, stats[1].Busy)

@@ -38,6 +38,9 @@ const (
 	PhaseInter
 	// PhaseLink is a message-level network transmission (netsim egress).
 	PhaseLink
+	// PhaseFault is fault-handling activity: retransmissions, deadline
+	// aborts, and degradation-triggered re-selection events.
+	PhaseFault
 
 	// NumPhases bounds iteration over the phase space.
 	NumPhases
@@ -59,6 +62,8 @@ func (p Phase) String() string {
 		return "inter-collective"
 	case PhaseLink:
 		return "link"
+	case PhaseFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}

@@ -14,6 +14,7 @@ func TestPhaseStrings(t *testing.T) {
 		PhaseIntra:   "intra-collective",
 		PhaseInter:   "inter-collective",
 		PhaseLink:    "link",
+		PhaseFault:   "fault",
 	}
 	if len(want) != int(NumPhases) {
 		t.Fatalf("test covers %d phases, NumPhases = %d", len(want), NumPhases)

@@ -81,6 +81,32 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 	return e.now
 }
 
+// RunBefore dispatches events with timestamps <= deadline, like RunUntil,
+// but leaves the clock at the last dispatched event instead of advancing
+// it to the deadline. Callers that measure elapsed work (a collective
+// bounded by a fault deadline) use RunBefore; RunUntil models "wait
+// until".
+func (e *Engine) RunBefore(deadline time.Duration) time.Duration {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.nsteps++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Clear discards every pending event without running it; the clock stays
+// where it is. The deadline-abort path uses it to drop stranded messages
+// and retransmission timers whose completion callbacks belong to an
+// operation that has already failed.
+func (e *Engine) Clear() {
+	for i := range e.queue {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+}
+
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 

@@ -90,26 +90,33 @@ func (e *Engine) chainInto(idx int, opt strategy.Option, jobs []jobSpec) ([]jobS
 				}
 			}
 			d := dense()
+			// arg is the byte argument handed to the α–β routine — the
+			// same quantity CommSteps exposes so message-level replay
+			// reproduces exactly what the closed form priced.
 			var dur time.Duration
+			var arg int64
 			switch st.Routine {
 			case strategy.Allreduce:
-				dur = link.Allreduce(n, d*interMult)
+				arg = d * interMult
+				dur = link.Allreduce(n, arg)
 
 			case strategy.ReduceScatter:
-				dur = link.ReduceScatter(n, d*interMult)
+				arg = d * interMult
+				dur = link.ReduceScatter(n, arg)
 				perGPU /= float64(n)
 
 			case strategy.Allgather:
 				if st.Compressed {
-					contrib := e.Cost.WireBytes(d) * int64(copies) * interMult
-					dur = link.Allgather(n, contrib)
+					arg = e.Cost.WireBytes(d) * int64(copies) * interMult
+					dur = link.Allgather(n, arg)
 					if st.Second {
 						perGPU *= float64(n) // gathering distinct shards
 					} else {
 						copies *= n // gathering same-region payloads
 					}
 				} else {
-					dur = link.Allgather(n, d*interMult)
+					arg = d * interMult
+					dur = link.Allgather(n, arg)
 					perGPU *= float64(n)
 				}
 				if st.Scope == strategy.Intra && st.Second {
@@ -117,31 +124,32 @@ func (e *Engine) chainInto(idx int, opt strategy.Option, jobs []jobSpec) ([]jobS
 				}
 
 			case strategy.Alltoall:
-				contrib := e.Cost.WireBytes(d) * int64(copies) * interMult
-				dur = link.Alltoall(n, contrib)
+				arg = e.Cost.WireBytes(d) * int64(copies) * interMult
+				dur = link.Alltoall(n, arg)
 				perGPU /= float64(n)
 				copies = n
 
 			case strategy.Reduce:
-				dur = link.Reduce(n, d*interMult)
+				arg = d * interMult
+				dur = link.Reduce(n, arg)
 				if st.Scope == strategy.Intra {
 					lanes = 1
 				}
 
 			case strategy.Broadcast:
 				if st.Compressed {
-					contrib := e.Cost.WireBytes(d) * int64(copies) * interMult
-					dur = link.Broadcast(n, contrib)
+					arg = e.Cost.WireBytes(d) * int64(copies) * interMult
 				} else {
-					dur = link.Broadcast(n, d*interMult)
+					arg = d * interMult
 				}
+				dur = link.Broadcast(n, arg)
 				if st.Scope == strategy.Intra {
 					lanes = k
 				}
 
 			case strategy.Gather:
-				contrib := e.Cost.WireBytes(d) * int64(copies) * interMult
-				dur = link.Gather(n, contrib)
+				arg = e.Cost.WireBytes(d) * int64(copies) * interMult
+				dur = link.Gather(n, arg)
 				copies *= n
 				if st.Scope == strategy.Intra {
 					lanes = 1
@@ -150,10 +158,49 @@ func (e *Engine) chainInto(idx int, opt strategy.Option, jobs []jobSpec) ([]jobS
 			default:
 				return nil, fmt.Errorf("tensor %d step %d: unhandled routine %v", idx, si, st.Routine)
 			}
+			if e.commSink != nil {
+				*e.commSink = append(*e.commSink, CommStep{
+					Scope: st.Scope, Routine: st.Routine, N: n, Bytes: arg,
+					Compressed: st.Compressed, Second: st.Second,
+				})
+			}
 			add(res, dur, si)
 		}
 	}
 	return jobs, nil
+}
+
+// CommStep is one communication operation of a tensor's pipeline, with
+// the exact byte argument the α–β cost model priced. The chaos runner
+// replays an iteration's inter-machine steps message by message on a
+// fault-injected netsim.Network using these records, so the replayed
+// traffic is byte-identical to what the analytic engine assumed.
+type CommStep struct {
+	Scope   strategy.Scope
+	Routine strategy.Routine
+	// N is the participant count of the collective.
+	N int
+	// Bytes is the size argument of the cost model's routine: the full
+	// reduced region for Allreduce/ReduceScatter/Reduce, the per-member
+	// contribution for Allgather/Alltoall/Gather/Broadcast.
+	Bytes int64
+	// Compressed marks payloads in encoded wire form; Second marks the
+	// second allgather of a two-phase scheme.
+	Compressed bool
+	Second     bool
+}
+
+// CommSteps returns the communication steps tensor idx performs under
+// opt, in pipeline order.
+func (e *Engine) CommSteps(idx int, opt strategy.Option) ([]CommStep, error) {
+	var steps []CommStep
+	e.commSink = &steps
+	_, err := e.chain(idx, opt)
+	e.commSink = nil
+	if err != nil {
+		return nil, err
+	}
+	return steps, nil
 }
 
 // ChainKey returns a canonical string of the job chain an option induces

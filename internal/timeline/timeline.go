@@ -150,6 +150,16 @@ type Engine struct {
 	// decision algorithm's inner loop disables it.
 	RecordOps bool
 
+	// ComputeScale multiplies forward and backward compute durations
+	// (0 or 1 = healthy). The chaos layer sets it to model a slow
+	// device; compression work is scaled separately through the cost
+	// models' device scales.
+	ComputeScale float64
+
+	// commSink, when non-nil, receives the communication steps of the
+	// chain being built (see CommSteps). Transient; never cloned.
+	commSink *[]CommStep
+
 	// Reused scratch state; Engine is therefore not concurrency-safe.
 	chains    [][]jobSpec
 	queues    [numResources][]leanJob
@@ -173,6 +183,7 @@ func (e *Engine) Clone() *Engine {
 		M: e.M, C: e.C, Cost: e.Cost,
 		ZeroCompression: e.ZeroCompression,
 		RecordOps:       e.RecordOps,
+		ComputeScale:    e.ComputeScale,
 	}
 	if len(e.chains) > 0 {
 		out.chains = make([][]jobSpec, len(e.chains))
@@ -259,7 +270,7 @@ func (e *Engine) Run() (*Result, error) {
 	// tensors interleaving ahead of later kernels (Reason #1).
 	for i := range e.M.Tensors {
 		e.push(ResGPU, leanJob{prio: prio(i, 0), tensor: int32(i), job: -1, ready: 0,
-			dur: e.M.Tensors[i].Compute})
+			dur: e.scaleCompute(e.M.Tensors[i].Compute)})
 	}
 
 	var now, finish time.Duration
@@ -324,8 +335,16 @@ func (e *Engine) Run() (*Result, error) {
 		return nil, fmt.Errorf("timeline: %d of %d tensors completed (pipeline deadlock)", done, total)
 	}
 	res.Makespan = finish
-	res.Iter = e.M.Forward + finish
+	res.Iter = e.scaleCompute(e.M.Forward) + finish
 	return res, nil
+}
+
+// scaleCompute applies the slow-device multiplier to a compute duration.
+func (e *Engine) scaleCompute(d time.Duration) time.Duration {
+	if e.ComputeScale <= 0 || e.ComputeScale == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * e.ComputeScale)
 }
 
 // leanJob is an in-flight or queued unit of work.
