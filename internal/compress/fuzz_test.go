@@ -1,0 +1,69 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzWireDecode drives Decode with arbitrary byte strings. The wire
+// contract under test:
+//
+//   - Decode never panics, whatever the input;
+//   - every rejection is a typed *CorruptError (the DDL executor's
+//     retry path switches on it), never a bare error or a crash;
+//   - any accepted payload is a fixed point of the codec after one
+//     re-encode: Encode(Decode(buf)) re-derives header fields such as
+//     the flags byte, and from then on Decode∘Encode must be
+//     byte-stable, or two replicas could disagree about a payload they
+//     both accepted.
+func FuzzWireDecode(f *testing.F) {
+	// Valid encodings of each payload family, plus classic corruptions.
+	sparse := Encode(MustNew(Spec{ID: DGC, Ratio: 0.05}).Compress(seedVec(257), 1))
+	sign := Encode(MustNew(Spec{ID: EFSignSGD}).Compress(seedVec(64), 2))
+	quant := Encode(MustNew(Spec{ID: QSGD, Levels: 16}).Compress(seedVec(100), 3))
+	tern := Encode(MustNew(Spec{ID: TernGrad}).Compress(seedVec(33), 4))
+	dense := Encode(MustNew(Spec{ID: FP32}).Compress(seedVec(17), 5))
+	f.Add(sparse)
+	f.Add(sign)
+	f.Add(quant)
+	f.Add(tern)
+	f.Add(dense)
+	f.Add([]byte{})
+	f.Add(sparse[:payloadHeaderBytes-1]) // shorter than the header
+	f.Add(sparse[:len(sparse)-3])        // body truncated, stale CRC
+	flipped := append([]byte(nil), sign...)
+	flipped[len(flipped)-1] ^= 0x40 // checksum mismatch
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		p, err := Decode(buf)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Decode returned untyped error %T: %v", err, err)
+			}
+			if p != nil {
+				t.Fatalf("Decode returned both a payload and %v", err)
+			}
+			return
+		}
+		enc := Encode(p)
+		q, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoding an accepted payload broke it: %v", err)
+		}
+		if enc2 := Encode(q); !bytes.Equal(enc, enc2) {
+			t.Fatalf("codec not byte-stable after one re-encode:\n first %x\nsecond %x", enc, enc2)
+		}
+	})
+}
+
+// seedVec builds a deterministic non-trivial gradient for corpus seeds.
+func seedVec(n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32((i%7)-3) * (1 + float32(i)/float32(n))
+	}
+	return x
+}

@@ -231,6 +231,44 @@ func (sel *Selector) selectFrom(prior *strategy.Strategy) (*strategy.Strategy, *
 	}
 	rep.OffloadTime = time.Since(offStart)
 
+	// The greedy sweep is monotone but path-dependent: seeded
+	// differently, it can converge to a different local optimum. Run the
+	// compressed-candidates trajectory as well — deterministically the
+	// same search SelectAllCompressed performs — and keep the better
+	// endpoint, so Select is never worse than the "All compression"
+	// cripple (§5.3) by construction, not just empirically. The extra
+	// sweep's statistics stay out of the report except for its
+	// evaluation count; Offloaded is recomputed from the winner below.
+	// rep.Ruled and the explain pass's ruled markings describe the
+	// primary trajectory, so its bubble set is restored afterwards.
+	primaryRemoved := sel.lastRemoved
+	altRep := &Report{}
+	alt, err := sel.compressedSearch(altRep)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel.lastRemoved = primaryRemoved
+	rep.Evals += altRep.Evals
+	if alt != nil {
+		sIter, err := sel.iter(s, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+		altIter, err := sel.iter(alt, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+		if altIter < sIter {
+			s = alt
+		}
+	}
+	rep.Offloaded = 0
+	for _, o := range s.PerTensor {
+		if o.AllOn(cost.CPU) {
+			rep.Offloaded++
+		}
+	}
+
 	rep.Compressed = s.CompressedCount()
 	iter, err := sel.iter(s, rep)
 	if err != nil {
@@ -448,11 +486,14 @@ func (sel *Selector) bestSeed(rep *Report) (*strategy.Strategy, error) {
 	return best, err
 }
 
-// SelectAllCompressed is the "All compression" cripple of §5.3: Dimension
-// 1 is fixed to "compress" for every tensor, and the rest of the pipeline
-// (option choice, device choice, offloading) runs as usual.
-func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) {
-	rep := &Report{}
+// compressedSearch runs the selection pipeline with the candidate set
+// restricted to compressed options: sweep from the best uniform
+// compressed seed, then CPU offloading. It returns a nil strategy (and
+// no error) when the candidate set has no compressed option. Both
+// SelectAllCompressed and Select's second trajectory run exactly this
+// search, which is what makes Select structurally never worse than the
+// "All compression" cripple.
+func (sel *Selector) compressedSearch(rep *Report) (*strategy.Strategy, error) {
 	var compressed []strategy.Option
 	for _, o := range sel.candidates {
 		if o.Compressed() {
@@ -460,7 +501,7 @@ func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) 
 		}
 	}
 	if len(compressed) == 0 {
-		return nil, nil, fmt.Errorf("core: SelectAllCompressed needs at least one compressed candidate option (candidate set has %d options, none compressed)", len(sel.candidates))
+		return nil, nil
 	}
 	saved := sel.candidates
 	sel.SetCandidates(compressed)
@@ -475,16 +516,31 @@ func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) 
 	}
 	seed, _, err := sel.bestOf(seeds, rep)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	s, err := sel.sweepFrom(seed, rep)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if sel.allowsCPU() {
 		if s, err = sel.OffloadCPU(s, rep); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
+	}
+	return s, nil
+}
+
+// SelectAllCompressed is the "All compression" cripple of §5.3: Dimension
+// 1 is fixed to "compress" for every tensor, and the rest of the pipeline
+// (option choice, device choice, offloading) runs as usual.
+func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) {
+	rep := &Report{}
+	s, err := sel.compressedSearch(rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s == nil {
+		return nil, nil, fmt.Errorf("core: SelectAllCompressed needs at least one compressed candidate option (candidate set has %d options, none compressed)", len(sel.candidates))
 	}
 	rep.Compressed = s.CompressedCount()
 	iter, err := sel.iter(s, rep)
@@ -668,10 +724,23 @@ func BruteForce(m *model.Model, c *cluster.Cluster, cm *cost.Models, options []s
 	return BruteForceParallel(m, c, cm, options, 1)
 }
 
+// SpaceLog10 reports log10 of how many strategies a brute-force search
+// over the given option set spans: |options|^tensors. The option sets the
+// enumerator produces already contain the uncompressed options as members
+// (there is no separate "+1 for no compression" term), so this is the
+// complete per-tensor decision count. The brute-force guard and
+// BruteForceSpaceLog10 both count through here, so the space they report
+// is the same quantity.
+func SpaceLog10(options []strategy.Option, tensors int) float64 {
+	if len(options) == 0 || tensors <= 0 {
+		return 0
+	}
+	return float64(tensors) * math.Log10(float64(len(options)))
+}
+
 // BruteForceSpaceLog10 reports log10 of how many strategies a brute-force
 // search over the full option set would evaluate (|C|^N, §4.4.1) — the
 // raw count overflows even float64 for real models.
 func BruteForceSpaceLog10(m *model.Model, c *cluster.Cluster) float64 {
-	full := float64(len(strategy.Enumerate(c)))
-	return float64(len(m.Tensors)) * math.Log10(full)
+	return SpaceLog10(strategy.Enumerate(c), len(m.Tensors))
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/cost"
+	"espresso/internal/gen"
+	"espresso/internal/model"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+)
+
+// Property: on instances small enough to enumerate, Algorithm 2's result
+// equals the exhaustive minimum over the prod(|G_i|+1) group-prefix
+// space, and it reports exactly that space. The reference below re-derives
+// the grouping (compressed tensors keyed by size and option, each group
+// in Lemma 1's descending distance-to-output order) and evaluates every
+// prefix vector on a fresh engine — Algorithm 2 mutates one engine
+// incrementally, so this also cross-checks the engine's incremental
+// SetOption state against from-scratch evaluations.
+func TestOffloadMatchesExhaustiveEnumeration(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		cs := gen.Generate(seed, gen.Config{MaxTensors: 4})
+		cm, err := cost.NewModels(cs.Cluster, cs.Spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Draw tensor sizes from a two-value palette so the grouping has
+		// multi-member groups (prefix depth) and distinct groups (product
+		// structure), and compress each tensor with one of up to two
+		// GPU options.
+		r := gen.New(seed ^ 0x70726f70) // "prop"
+		n := len(cs.Model.Tensors)
+		palette := [2]int{int(r.LogUniform(1<<12, 1<<20)), int(r.LogUniform(1<<12, 1<<20))}
+		sizes := make([]int, n)
+		computes := make([]time.Duration, n)
+		for i, ten := range cs.Model.Tensors {
+			sizes[i] = palette[r.Intn(2)]
+			computes[i] = ten.Compute
+		}
+		m := model.Synthetic("offload-prop", sizes, computes, cs.Model.Forward)
+
+		var pool []strategy.Option
+		for _, o := range strategy.EnumerateGPU(cs.Cluster) {
+			if o.Compressed() {
+				pool = append(pool, o)
+			}
+		}
+		picks := [2]strategy.Option{pool[r.Intn(len(pool))], pool[r.Intn(len(pool))]}
+		s := strategy.Uniform(n, picks[0])
+		for i := range s.PerTensor {
+			s.PerTensor[i] = picks[r.Intn(2)].WithDevice(cost.GPU)
+		}
+
+		sel := NewSelector(m, cs.Cluster, cm)
+		rep := &Report{}
+		got, err := sel.OffloadCPU(s, rep)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eng := timeline.New(m, cs.Cluster, cm)
+		eng.RecordOps = false
+		gotIter, err := eng.IterTime(got)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		wantIter, space, err := exhaustiveOffloadRef(m, cs.Cluster, cm, s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if gotIter != wantIter {
+			t.Errorf("seed %d: Algorithm 2 found %v, exhaustive enumeration found %v (Δ %v)",
+				seed, gotIter, wantIter, gotIter-wantIter)
+		}
+		if rep.OffloadSearch != space {
+			t.Errorf("seed %d: OffloadSearch = %d, prod(|G_i|+1) = %d", seed, rep.OffloadSearch, space)
+		}
+	}
+}
+
+// exhaustiveOffloadRef enumerates every group-prefix offload assignment
+// with fresh engines and returns the minimum iteration time and the
+// space size.
+func exhaustiveOffloadRef(m *model.Model, cl *cluster.Cluster, cm *cost.Models, s *strategy.Strategy) (time.Duration, int, error) {
+	byKey := make(map[string][]int)
+	var keys []string
+	for i, opt := range s.PerTensor {
+		if !opt.Compressed() {
+			continue
+		}
+		key := fmt.Sprintf("%d|%s", m.Tensors[i].Elems, opt.Key())
+		if _, ok := byKey[key]; !ok {
+			keys = append(keys, key)
+		}
+		byKey[key] = append(byKey[key], i)
+	}
+	sort.Strings(keys)
+	var groups [][]int
+	space := 1
+	for _, k := range keys {
+		g := byKey[k]
+		sort.Slice(g, func(a, b int) bool {
+			return m.DistanceToOutput(g[a]) > m.DistanceToOutput(g[b])
+		})
+		groups = append(groups, g)
+		space *= len(g) + 1
+	}
+
+	best := time.Duration(-1)
+	u := make([]int, len(groups))
+	for {
+		cand := s.Clone()
+		for gi, g := range groups {
+			for j, idx := range g {
+				dev := cost.GPU
+				if j < u[gi] {
+					dev = cost.CPU
+				}
+				cand.PerTensor[idx] = s.PerTensor[idx].WithDevice(dev)
+			}
+		}
+		eng := timeline.New(m, cl, cm)
+		eng.RecordOps = false
+		it, err := eng.IterTime(cand)
+		if err != nil {
+			return 0, 0, err
+		}
+		if best < 0 || it < best {
+			best = it
+		}
+		i := 0
+		for ; i < len(groups); i++ {
+			if u[i] < len(groups[i]) {
+				u[i]++
+				break
+			}
+			u[i] = 0
+		}
+		if i == len(groups) {
+			break
+		}
+	}
+	return best, space, nil
+}

@@ -100,6 +100,10 @@ func (sel *Selector) probePosition(engines []*timeline.Engine, idx int, probes [
 	})
 }
 
+// maxBruteForceStrategies caps the brute-force search space: past this
+// the exhaustive odometer is hopeless at any parallelism.
+const maxBruteForceStrategies = 1_000_000
+
 // BruteForceParallel is BruteForce with the odometer space split into
 // contiguous shards explored on per-worker engines. The result is
 // bit-identical to the sequential search: of all minimal-F(S)
@@ -113,8 +117,12 @@ func BruteForceParallel(m *model.Model, c *cluster.Cluster, cm *cost.Models, opt
 	size := 1
 	for i := 0; i < n; i++ {
 		size *= len(options)
-		if size > 1_000_000 {
-			return nil, 0, fmt.Errorf("core: brute force space too large (%d^%d)", len(options), n)
+		if size > maxBruteForceStrategies {
+			// The guard counts the same space SpaceLog10 reports for
+			// this option set: |options|^n, uncompressed members
+			// included — asserted by TestBruteForceGuardCountsSpaceLog10.
+			return nil, 0, fmt.Errorf("core: brute force space too large (%d^%d = 10^%.1f strategies, cap %d)",
+				len(options), n, SpaceLog10(options, n), maxBruteForceStrategies)
 		}
 	}
 	w := parallelism

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"espresso/internal/cluster"
+	"espresso/internal/cost"
+	"espresso/internal/model"
+	"espresso/internal/strategy"
+)
+
+// The brute-force guard message and SpaceLog10 must describe the same
+// space for the same option set: |options|^tensors, with the option
+// set's uncompressed members counted like any other option.
+func TestBruteForceGuardCountsSpaceLog10(t *testing.T) {
+	c := cluster.NVLinkTestbed(4)
+	m := model.ResNet101()
+	opts := strategy.EnumerateGPU(c)
+	_, _, err := BruteForce(m, c, cost.MustModels(c, dgc()), opts)
+	if err == nil {
+		t.Fatal("brute force accepted an astronomical space")
+	}
+	want := fmt.Sprintf("(%d^%d = 10^%.1f strategies", len(opts), len(m.Tensors), SpaceLog10(opts, len(m.Tensors)))
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("guard message %q does not carry the counted space %q", err, want)
+	}
+}
+
+// BruteForceSpaceLog10 is SpaceLog10 over the full enumerated set, and
+// that set already contains the no-compression option as a member — the
+// per-tensor decision count needs no separate "+1".
+func TestBruteForceSpaceLog10MatchesEnumeration(t *testing.T) {
+	c := cluster.NVLinkTestbed(4)
+	m := model.ResNet101()
+	opts := strategy.Enumerate(c)
+	want := float64(len(m.Tensors)) * math.Log10(float64(len(opts)))
+	if got := BruteForceSpaceLog10(m, c); got != want {
+		t.Errorf("BruteForceSpaceLog10 = %v, want %d*log10(%d) = %v", got, len(m.Tensors), len(opts), want)
+	}
+	plain := strategy.NoCompression(c).Key()
+	found := false
+	for _, o := range opts {
+		if o.Key() == plain {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("enumerated set of %d options does not contain the no-compression option %s", len(opts), plain)
+	}
+}
+
+func TestSpaceLog10Degenerate(t *testing.T) {
+	if got := SpaceLog10(nil, 5); got != 0 {
+		t.Errorf("SpaceLog10(nil, 5) = %v, want 0", got)
+	}
+	if got := SpaceLog10(make([]strategy.Option, 10), 0); got != 0 {
+		t.Errorf("SpaceLog10(10 opts, 0 tensors) = %v, want 0", got)
+	}
+}

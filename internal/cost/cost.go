@@ -274,6 +274,42 @@ func (m *Models) scaleOf(dev Device) float64 {
 	return s
 }
 
+// Profile is the public view of one device's calibrated compression
+// profile, with the active fault scale folded in. Independent predictors
+// (internal/oracle) consume it so they can price compression phases from
+// the same calibration constants while deriving the time formulas
+// themselves — the calibration is shared deliberately, the formulas are
+// not.
+type Profile struct {
+	// Launch is the fixed dispatch overhead per operation.
+	Launch time.Duration
+	// CompBps is the streaming compression throughput over dense input
+	// bytes; DecompBps the scatter/unpack throughput over compressed
+	// wire bytes; DenseBps the throughput of the dense accumulate pass.
+	CompBps, DecompBps, DenseBps float64
+	// PerPayload is the extra dispatch per additional payload decompressed.
+	PerPayload time.Duration
+	// Scale is the fault multiplier currently applied to the device
+	// (1 = healthy).
+	Scale float64
+}
+
+// Profile reports the calibrated compression profile of dev.
+func (m *Models) Profile(dev Device) Profile {
+	p := m.profile(dev)
+	return Profile{
+		Launch:     p.launch,
+		CompBps:    p.compBps,
+		DecompBps:  p.decompBps,
+		DenseBps:   p.denseBps,
+		PerPayload: p.perPayload,
+		Scale:      m.scaleOf(dev),
+	}
+}
+
+// StagingBps reports the GPU<->host staging bandwidth in bytes/second.
+func (m *Models) StagingBps() float64 { return m.stagingBps }
+
 // MustModels is NewModels for statically known configurations.
 func MustModels(c *cluster.Cluster, spec compress.Spec) *Models {
 	m, err := NewModels(c, spec)

@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"testing"
+	"time"
+)
+
+// Every generated case must be valid input for the rest of the system:
+// the harness feeds them straight into cost.NewModels and the engine.
+func TestGeneratedCasesAreValid(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		c := Generate(seed, Config{})
+		if err := c.Model.Validate(); err != nil {
+			t.Fatalf("%v: invalid model: %v", c, err)
+		}
+		if err := c.Cluster.Validate(); err != nil {
+			t.Fatalf("%v: invalid cluster: %v", c, err)
+		}
+		if err := c.Spec.Validate(); err != nil {
+			t.Fatalf("%v: invalid spec: %v", c, err)
+		}
+	}
+}
+
+// The whole reproduction scheme rests on this: the seed alone determines
+// the case, so printing the seed is printing the case.
+func TestGenerateIsDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := Generate(seed, Config{}), Generate(seed, Config{})
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: non-deterministic case:\n  %v\n  %v", seed, a, b)
+		}
+		for i := range a.Model.Tensors {
+			if a.Model.Tensors[i] != b.Model.Tensors[i] {
+				t.Fatalf("seed %d: tensor %d differs", seed, i)
+			}
+		}
+		if *a.Cluster != *b.Cluster || a.Spec != b.Spec {
+			t.Fatalf("seed %d: cluster or spec differs", seed)
+		}
+	}
+}
+
+func TestConfigBoundsRespected(t *testing.T) {
+	cfg := Config{MinTensors: 2, MaxTensors: 4, MinElems: 100, MaxElems: 1000, MaxMachines: 2}
+	for seed := uint64(0); seed < 100; seed++ {
+		c := Generate(seed, cfg)
+		if n := len(c.Model.Tensors); n < 2 || n > 4 {
+			t.Fatalf("seed %d: %d tensors outside [2,4]", seed, n)
+		}
+		for _, ts := range c.Model.Tensors {
+			if ts.Elems < 100 || ts.Elems > 1000 {
+				t.Fatalf("seed %d: tensor elems %d outside [100,1000]", seed, ts.Elems)
+			}
+		}
+		if c.Cluster.Machines > 2 {
+			t.Fatalf("seed %d: %d machines exceeds MaxMachines=2", seed, c.Cluster.Machines)
+		}
+	}
+}
+
+// The β-scaling metamorphic invariant is exact only when α = 0, so the
+// generator must keep producing latency-free clusters.
+func TestSomeCasesAreLatencyFree(t *testing.T) {
+	var free, total int
+	for seed := uint64(0); seed < 200; seed++ {
+		c := Generate(seed, Config{})
+		total++
+		if c.Cluster.IntraLatency == 0 && c.Cluster.InterLatency == 0 {
+			free++
+		}
+	}
+	if free == 0 || free == total {
+		t.Fatalf("latency-free cases: %d of %d, want a non-trivial mix", free, total)
+	}
+}
+
+func TestRandHelpers(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.Between(3, 9); v < 3 || v > 9 {
+			t.Fatalf("Between out of range: %v", v)
+		}
+		if v := r.LogUniform(1e3, 1e9); v < 1e3 || v > 1e9 {
+			t.Fatalf("LogUniform out of range: %v", v)
+		}
+		if v := r.Duration(time.Microsecond, time.Second); v < time.Microsecond || v > time.Second {
+			t.Fatalf("Duration out of range: %v", v)
+		}
+	}
+}

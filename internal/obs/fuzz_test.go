@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadChrome drives the trace importer with arbitrary byte strings.
+// ReadChrome must never panic — trace files arrive from other tools and
+// from users' disks — and anything it accepts must survive the repo's
+// own export path: recording the recovered spans and re-exporting with
+// WriteChrome yields a trace that parses again with the same span count
+// (metadata events are regenerated, "X" events map 1:1 to spans).
+func FuzzReadChrome(f *testing.F) {
+	f.Add([]byte(fuzzSeedTrace()))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"traceEvents":[]}`))
+	f.Add([]byte(`{"traceEvents":[{"ph":"X","name":"k","ts":1,"dur":-5,"pid":0,"tid":9}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spans, err := ReadChrome(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		tr := NewTrace()
+		for _, sp := range spans {
+			tr.Record(sp)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("re-exporting %d accepted spans: %v", len(spans), err)
+		}
+		again, err := ReadChrome(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing our own export: %v", err)
+		}
+		if len(again) != len(spans) {
+			t.Fatalf("round trip changed span count: %d -> %d", len(spans), len(again))
+		}
+	})
+}
+
+// fuzzSeedTrace exports a small well-formed trace through the real
+// writer, so the corpus starts from the format the repo emits.
+func fuzzSeedTrace() string {
+	tr := NewTrace()
+	tr.Record(Span{Rank: 0, Device: "gpu", Phase: PhaseCompute, Name: "bwd", Start: 0, End: 5 * time.Microsecond})
+	tr.Record(Span{
+		Rank: 0, Device: "inter", Phase: PhaseInter, Name: "allreduce",
+		Ready: 2 * time.Microsecond, Start: 5 * time.Microsecond, End: 20 * time.Microsecond,
+		Bytes: 4096, Tensor: 1, Step: 2, Compressed: true,
+	})
+	tr.Record(Span{Rank: 1, Device: "cpu", Phase: PhaseEncode, Name: "dgc", Start: time.Microsecond, End: 3 * time.Microsecond})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		panic(err)
+	}
+	return buf.String()
+}

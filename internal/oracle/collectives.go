@@ -1,0 +1,109 @@
+package oracle
+
+import (
+	"math"
+	"time"
+)
+
+// This file re-derives the α–β collective cost formulas (Thakur et al.,
+// "Optimization of Collective Communication Operations in MPICH"; NCCL
+// performance notes) from scratch. It deliberately shares no code with
+// internal/cost or internal/timeline: the expressions below are written
+// directly from the published formulas so that any drift in the engine's
+// cost semantics shows up as a differential failure, not as a co-evolved
+// pair of bugs. Where a formula admits several numerically equivalent
+// shapes, the per-step-rounded shape is used (round each step's transfer
+// to nanoseconds, then multiply by the step count) so that agreement with
+// a correct engine is exact to well under a microsecond.
+
+// link is one α–β communication domain: a per-message startup cost and a
+// per-participant bandwidth in bytes/second.
+type link struct {
+	alpha time.Duration
+	bps   float64
+}
+
+// xfer is the β term: the serialization time of b bytes at the link's
+// per-participant bandwidth.
+func (l link) xfer(b float64) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return time.Duration(b / l.bps * float64(time.Second))
+}
+
+// lg2ceil is ceil(log2 n), the round count of a binomial tree.
+func lg2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// allreduce prices an allreduce of b bytes among n participants as the
+// better of the bandwidth-optimal ring — 2(n-1) steps of b/n each — and
+// the latency-optimal binomial reduce+broadcast tree — 2 ceil(log2 n)
+// rounds of the full payload.
+func (l link) allreduce(n int, b int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	ring := time.Duration(2*(n-1)) * (l.alpha + l.xfer(float64(b)/float64(n)))
+	tree := time.Duration(2*lg2ceil(n)) * (l.alpha + l.xfer(float64(b)))
+	if tree < ring {
+		return tree
+	}
+	return ring
+}
+
+// reduceScatter is the first half of a ring allreduce: (n-1) steps of b/n.
+func (l link) reduceScatter(n int, b int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(n-1) * (l.alpha + l.xfer(float64(b)/float64(n)))
+}
+
+// allgather rings each participant's contribution of contrib bytes to all
+// others: (n-1) steps of contrib each.
+func (l link) allgather(n int, contrib int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(n-1) * (l.alpha + l.xfer(float64(contrib)))
+}
+
+// alltoall shuffles a 1/n slice of each contribution to every peer:
+// (n-1) messages of contrib/n.
+func (l link) alltoall(n int, contrib int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(n-1) * (l.alpha + l.xfer(float64(contrib)/float64(n)))
+}
+
+// reduce aggregates b bytes to a root over a binomial tree:
+// ceil(log2 n) rounds of the full payload.
+func (l link) reduce(n int, b int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(lg2ceil(n)) * (l.alpha + l.xfer(float64(b)))
+}
+
+// broadcast sends b bytes from a root over a binomial tree.
+func (l link) broadcast(n int, b int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(lg2ceil(n)) * (l.alpha + l.xfer(float64(b)))
+}
+
+// gather serializes (n-1) contributions of contrib bytes on the root's
+// ingress link.
+func (l link) gather(n int, contrib int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	return time.Duration(n-1) * (l.alpha + l.xfer(float64(contrib)))
+}

@@ -1,0 +1,608 @@
+// Package diff is the differential correctness harness: it runs hundreds
+// of randomly generated (model, cluster, compressor) cases through both
+// the discrete-event timeline engine and the closed-form oracle, and
+// checks the selector against baselines, metamorphic invariants, and
+// exhaustive references. Every failure carries the generated case's seed,
+// so `espresso-verify -cases 1 -seed <seed>` replays exactly the failing
+// case.
+//
+// The checks, by name:
+//
+//	single-chain   engine iteration time equals the oracle's serial sum on
+//	               one-tensor workloads (no contention, nothing to overlap)
+//	bracket        engine iteration time lies in the oracle's
+//	               [LowerBound, SerialIter] bracket on multi-tensor cases
+//	select-fp32    Select is never slower than uncompressed FP32
+//	select-allcomp Select is never materially slower than SelectAllCompressed
+//	beta-scaling   all bandwidths ×k ⇒ every comm term ÷k (α = 0 cases)
+//	add-tensor     appending a tensor never decreases iteration time
+//	greedy-brute   greedy selection within the bound of brute force on
+//	               small instances
+//	offload-exact  Algorithm 2 equals exhaustive enumeration of the
+//	               prod(|G_i|+1) offload space, and reports that space
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"espresso/internal/cluster"
+	"espresso/internal/core"
+	"espresso/internal/cost"
+	"espresso/internal/gen"
+	"espresso/internal/model"
+	"espresso/internal/oracle"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+)
+
+// Config tunes the harness. The zero value selects the defaults the CI
+// gate runs with.
+type Config struct {
+	// Cases is the number of generated cases (default 100). Case i uses
+	// seed Seed+i and depends on nothing else, so any failing case
+	// reproduces with Cases=1 and its printed seed.
+	Cases int
+	// Seed is the base seed (default 1).
+	Seed uint64
+
+	// RelTol and AbsTol bound the oracle-vs-engine disagreement on
+	// single-chain cases. The oracle's formulas are written to match a
+	// correct engine bit-for-bit, so the defaults (1e-9, 100ns) only
+	// absorb duration rounding.
+	RelTol float64
+	AbsTol time.Duration
+
+	// GreedyGap is the allowed fractional gap of greedy selection over
+	// brute force on small instances (default 5%, the bound the paper's
+	// §4.4 validation and the repo's TestNearOptimalVsBruteForce use).
+	GreedyGap float64
+
+	// ChainOptions caps how many options the single-chain check samples
+	// per case from the full enumerated set (default 40).
+	ChainOptions int
+
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cases <= 0 {
+		c.Cases = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RelTol <= 0 {
+		c.RelTol = 1e-9
+	}
+	if c.AbsTol <= 0 {
+		c.AbsTol = 100 * time.Nanosecond
+	}
+	if c.GreedyGap <= 0 {
+		c.GreedyGap = 0.05
+	}
+	if c.ChainOptions <= 0 {
+		c.ChainOptions = 40
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Failure is one violated assertion.
+type Failure struct {
+	// Seed reproduces the case: espresso-verify -cases 1 -seed <Seed>.
+	Seed  uint64
+	Check string
+	// Detail describes the violation, including the generated case.
+	Detail string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("FAIL [%s] %s\n  reproduce: espresso-verify -cases 1 -seed %d", f.Check, f.Detail, f.Seed)
+}
+
+// Summary aggregates a harness run.
+type Summary struct {
+	Cases int
+	// Checks counts executed assertions per check name.
+	Checks   map[string]int
+	Failures []Failure
+}
+
+// Passed reports whether every assertion held.
+func (s *Summary) Passed() bool { return len(s.Failures) == 0 }
+
+func (s *Summary) String() string {
+	names := make([]string, 0, len(s.Checks))
+	total := 0
+	for n, c := range s.Checks {
+		names = append(names, n)
+		total += c
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("%d cases, %d assertions, %d failures\n", s.Cases, total, len(s.Failures))
+	for _, n := range names {
+		out += fmt.Sprintf("  %-14s %6d\n", n, s.Checks[n])
+	}
+	return out
+}
+
+// Run executes the harness.
+func Run(cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	sum := &Summary{Cases: cfg.Cases, Checks: map[string]int{}}
+	for i := 0; i < cfg.Cases; i++ {
+		seed := cfg.Seed + uint64(i)
+		c := &caseRun{cfg: cfg, seed: seed, ordinal: i, sum: sum}
+		if err := c.run(); err != nil {
+			return nil, fmt.Errorf("diff: case seed=%d: %w", seed, err)
+		}
+		if (i+1)%25 == 0 || i+1 == cfg.Cases {
+			cfg.Logf("%d/%d cases, %d failures", i+1, cfg.Cases, len(sum.Failures))
+		}
+	}
+	return sum, nil
+}
+
+// caseRun is the per-case state. A returned error is a harness or
+// generator defect (it aborts the run); a semantic violation becomes a
+// Failure instead.
+type caseRun struct {
+	cfg     Config
+	seed    uint64
+	ordinal int
+	sum     *Summary
+}
+
+func (c *caseRun) fail(check, format string, args ...any) {
+	c.sum.Failures = append(c.sum.Failures, Failure{
+		Seed: c.seed, Check: check, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *caseRun) count(check string) { c.sum.Checks[check]++ }
+
+// within checks |a-b| <= AbsTol + RelTol*max(|a|,|b|).
+func (c *caseRun) within(a, b time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= c.cfg.AbsTol+time.Duration(c.cfg.RelTol*float64(m))
+}
+
+func (c *caseRun) run() error {
+	if err := c.singleChain(); err != nil {
+		return err
+	}
+	if err := c.fullCase(); err != nil {
+		return err
+	}
+	// The exhaustive references are priced per-case, so they run on a
+	// rotating subset to keep the harness fast enough for a CI gate.
+	if c.ordinal%3 == 0 {
+		if err := c.offloadExact(); err != nil {
+			return err
+		}
+	}
+	if c.ordinal%5 == 0 {
+		if err := c.greedyBrute(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// singleChain: on a one-tensor model nothing overlaps, so a correct
+// engine's iteration time is exactly forward + compute + the serial sum
+// of the option's phases — the oracle's SerialIter.
+func (c *caseRun) singleChain() error {
+	cs := gen.Generate(c.seed, gen.Config{MaxTensors: 1})
+	cm, err := cost.NewModels(cs.Cluster, cs.Spec)
+	if err != nil {
+		return err
+	}
+	pred, err := oracle.New(cs.Model, cs.Cluster, cm)
+	if err != nil {
+		return err
+	}
+	eng := timeline.New(cs.Model, cs.Cluster, cm)
+	eng.RecordOps = false
+
+	opts := strategy.Enumerate(cs.Cluster)
+	r := gen.New(c.seed ^ 0x636861696e) // "chain": option sampling stream
+	for _, opt := range sample(r, opts, c.cfg.ChainOptions) {
+		s := strategy.Uniform(1, opt)
+		want, err := pred.SerialIter(s)
+		if err != nil {
+			return err
+		}
+		got, err := eng.IterTime(s)
+		if err != nil {
+			return err
+		}
+		c.count("single-chain")
+		if !c.within(got, want) {
+			c.fail("single-chain", "engine %v != oracle %v (Δ %v) for option %s on %v",
+				got, want, got-want, opt.Key(), cs)
+		}
+	}
+	return nil
+}
+
+// fullCase runs the multi-tensor checks: the oracle bracket, selector
+// dominance over baselines, β-scaling, and add-tensor monotonicity.
+func (c *caseRun) fullCase() error {
+	cs := gen.Generate(c.seed, gen.Config{})
+	cm, err := cost.NewModels(cs.Cluster, cs.Spec)
+	if err != nil {
+		return err
+	}
+	pred, err := oracle.New(cs.Model, cs.Cluster, cm)
+	if err != nil {
+		return err
+	}
+	eng := timeline.New(cs.Model, cs.Cluster, cm)
+	eng.RecordOps = false
+	n := len(cs.Model.Tensors)
+
+	fp32 := strategy.Uniform(n, strategy.NoCompression(cs.Cluster))
+	fp32Iter, err := eng.IterTime(fp32)
+	if err != nil {
+		return err
+	}
+
+	sel := core.NewSelector(cs.Model, cs.Cluster, cm)
+	sSel, repSel, err := sel.Select()
+	if err != nil {
+		return err
+	}
+	sAll, repAll, err := sel.SelectAllCompressed()
+	if err != nil {
+		return err
+	}
+
+	// Both dominances are structural, so they are checked strictly:
+	// FP32 is a Select seed and sweeps only ever improve, and Select
+	// runs the same compressed-candidates trajectory SelectAllCompressed
+	// does and keeps the better endpoint.
+	c.count("select-fp32")
+	if repSel.Iter > fp32Iter+c.cfg.AbsTol {
+		c.fail("select-fp32", "Select %v slower than FP32 %v on %v", repSel.Iter, fp32Iter, cs)
+	}
+	c.count("select-allcomp")
+	if repSel.Iter > repAll.Iter+c.cfg.AbsTol {
+		c.fail("select-allcomp", "Select %v exceeds SelectAllCompressed %v by %.2f%% on %v",
+			repSel.Iter, repAll.Iter, 100*float64(repSel.Iter-repAll.Iter)/float64(repAll.Iter), cs)
+	}
+
+	// Bracket: the engine is work-conserving, so its makespan can be
+	// bounded both ways in closed form.
+	r := gen.New(c.seed ^ 0x667563617365) // strategy/tensor sampling stream
+	uni := strategy.Uniform(n, sample(r, compressedOptions(cs), 1)[0])
+	for _, s := range []*strategy.Strategy{fp32, sSel, sAll, uni} {
+		lo, hi, err := pred.Bounds(s)
+		if err != nil {
+			return err
+		}
+		it, err := eng.IterTime(s)
+		if err != nil {
+			return err
+		}
+		c.count("bracket")
+		if it < lo-c.cfg.AbsTol || it > hi+c.cfg.AbsTol {
+			c.fail("bracket", "engine %v outside oracle bracket [%v, %v] on %v", it, lo, hi, cs)
+		}
+	}
+
+	if cs.Cluster.IntraLatency == 0 && cs.Cluster.InterLatency == 0 {
+		if err := c.betaScaling(cs, pred, eng); err != nil {
+			return err
+		}
+	}
+	return c.addTensor(cs, cm, eng, r, uni)
+}
+
+// betaScaling: with α = 0 every comm term is pure serialization time, so
+// multiplying all bandwidths by k must divide every comm term by k. The
+// slack absorbs per-step nanosecond rounding multiplied by step counts.
+func (c *caseRun) betaScaling(cs *gen.Case, pred *oracle.Predictor, eng *timeline.Engine) error {
+	const k = 4
+	scaled := cs.Cluster.Clone()
+	scaled.IntraBandwidth *= k
+	scaled.InterBandwidth *= k
+	cmS, err := cost.NewModels(scaled, cs.Spec)
+	if err != nil {
+		return err
+	}
+	predS, err := oracle.New(cs.Model, scaled, cmS)
+	if err != nil {
+		return err
+	}
+	engS := timeline.New(cs.Model, scaled, cmS)
+	engS.RecordOps = false
+
+	slack := 2*time.Microsecond + c.cfg.AbsTol
+	r := gen.New(c.seed ^ 0x62657461) // "beta"
+	for _, opt := range sample(r, strategy.Enumerate(cs.Cluster), 8) {
+		base, err := pred.Option(0, opt)
+		if err != nil {
+			return err
+		}
+		got, err := predS.Option(0, opt)
+		if err != nil {
+			return err
+		}
+		c.count("beta-scaling")
+		if d := got.Comm() - base.Comm()/k; d > slack || d < -slack {
+			c.fail("beta-scaling", "oracle comm %v != %v/%d for option %s on %v",
+				got.Comm(), base.Comm(), k, opt.Key(), cs)
+		}
+		eBase, err := eng.CommTime(0, opt)
+		if err != nil {
+			return err
+		}
+		eGot, err := engS.CommTime(0, opt)
+		if err != nil {
+			return err
+		}
+		c.count("beta-scaling")
+		if d := eGot - eBase/k; d > slack || d < -slack {
+			c.fail("beta-scaling", "engine comm %v != %v/%d for option %s on %v",
+				eGot, eBase, k, opt.Key(), cs)
+		}
+	}
+	return nil
+}
+
+// addTensor: appending a tensor to the model adds work at the lowest
+// scheduling priority, which can only delay existing jobs in the
+// non-preemptive priority scheduler — iteration time must not decrease.
+func (c *caseRun) addTensor(cs *gen.Case, cm *cost.Models, eng *timeline.Engine, r *gen.Rand, uni *strategy.Strategy) error {
+	n := len(cs.Model.Tensors)
+	sizes := make([]int, n+1)
+	computes := make([]time.Duration, n+1)
+	for i, t := range cs.Model.Tensors {
+		sizes[i], computes[i] = t.Elems, t.Compute
+	}
+	sizes[n] = int(r.LogUniform(1<<10, 1<<24))
+	computes[n] = r.Duration(20*time.Microsecond, 3*time.Millisecond)
+	bigger := model.Synthetic(cs.Model.Name, sizes, computes, cs.Model.Forward)
+	engBig := timeline.New(bigger, cs.Cluster, cm)
+	engBig.RecordOps = false
+
+	fp32 := strategy.NoCompression(cs.Cluster)
+	for _, opt := range []strategy.Option{fp32, uni.PerTensor[0]} {
+		base, err := eng.IterTime(strategy.Uniform(n, opt))
+		if err != nil {
+			return err
+		}
+		grown, err := engBig.IterTime(strategy.Uniform(n+1, opt))
+		if err != nil {
+			return err
+		}
+		c.count("add-tensor")
+		if grown+c.cfg.AbsTol < base {
+			c.fail("add-tensor", "iter shrank from %v to %v after appending a tensor (option %s) on %v",
+				base, grown, opt.Key(), cs)
+		}
+	}
+	return nil
+}
+
+// greedyBrute: on instances small enough to enumerate, the greedy
+// selection must stay within the paper's near-optimality bound of the
+// brute-force optimum over the same candidate set.
+func (c *caseRun) greedyBrute() error {
+	cs := gen.Generate(c.seed, gen.Config{MaxTensors: 3})
+	cm, err := cost.NewModels(cs.Cluster, cs.Spec)
+	if err != nil {
+		return err
+	}
+	r := gen.New(c.seed ^ 0x6272757465) // "brute"
+	opts := append([]strategy.Option{strategy.NoCompression(cs.Cluster)},
+		sample(r, compressedOptions(cs), 4)...)
+	opts = dedupe(opts)
+
+	sel := core.NewSelector(cs.Model, cs.Cluster, cm)
+	sel.SetCandidates(opts)
+	_, rep, err := sel.Select()
+	if err != nil {
+		return err
+	}
+	_, bfIter, err := core.BruteForce(cs.Model, cs.Cluster, cm, opts)
+	if err != nil {
+		return err
+	}
+	// Select's seed family and offloading add device variants beyond
+	// opts, so it may legitimately beat the restricted brute force; the
+	// claim is only that it never falls more than the bound short.
+	c.count("greedy-brute")
+	if gap := float64(rep.Iter-bfIter) / float64(bfIter); gap > c.cfg.GreedyGap {
+		c.fail("greedy-brute", "greedy %v vs brute-force optimum %v: gap %.2f%% exceeds %.0f%% on %v",
+			rep.Iter, bfIter, 100*gap, 100*c.cfg.GreedyGap, cs)
+	}
+	return nil
+}
+
+// offloadExact: Algorithm 2's result must match an exhaustive traversal
+// of the prod(|G_i|+1) group-prefix space, evaluated here with fresh
+// engines (Algorithm 2 mutates one engine incrementally — this is the
+// differential). Tensor sizes are drawn from a two-value palette so the
+// grouping has both multi-member groups and several groups.
+func (c *caseRun) offloadExact() error {
+	cs := gen.Generate(c.seed, gen.Config{MaxTensors: 4})
+	cm, err := cost.NewModels(cs.Cluster, cs.Spec)
+	if err != nil {
+		return err
+	}
+	r := gen.New(c.seed ^ 0x6f666621) // "off!"
+	n := len(cs.Model.Tensors)
+	palette := [2]int{int(r.LogUniform(1<<12, 1<<20)), int(r.LogUniform(1<<12, 1<<20))}
+	sizes := make([]int, n)
+	computes := make([]time.Duration, n)
+	for i, t := range cs.Model.Tensors {
+		sizes[i] = palette[r.Intn(2)]
+		computes[i] = t.Compute
+	}
+	m := model.Synthetic("offload", sizes, computes, cs.Model.Forward)
+
+	// All-GPU compressed strategy over up to two distinct options, so
+	// the u=0 corner of the search space is exactly the input strategy.
+	pool := sample(r, compressedOptions(cs), 2)
+	s := strategy.Uniform(n, pool[0])
+	for i := range s.PerTensor {
+		s.PerTensor[i] = pool[r.Intn(len(pool))].WithDevice(cost.GPU)
+	}
+
+	sel := core.NewSelector(m, cs.Cluster, cm)
+	rep := &core.Report{}
+	got, err := sel.OffloadCPU(s, rep)
+	if err != nil {
+		return err
+	}
+	gotEng := timeline.New(m, cs.Cluster, cm)
+	gotEng.RecordOps = false
+	gotIter, err := gotEng.IterTime(got)
+	if err != nil {
+		return err
+	}
+
+	wantIter, space, err := exhaustiveOffload(m, cs.Cluster, cm, s)
+	if err != nil {
+		return err
+	}
+	c.count("offload-exact")
+	if gotIter != wantIter {
+		c.fail("offload-exact", "Algorithm 2 found %v, exhaustive offload enumeration found %v (Δ %v) on %v",
+			gotIter, wantIter, gotIter-wantIter, cs)
+	}
+	c.count("offload-exact")
+	if rep.OffloadSearch != space {
+		c.fail("offload-exact", "Algorithm 2 reports search space %d, prod(|G_i|+1) is %d on %v",
+			rep.OffloadSearch, space, cs)
+	}
+	return nil
+}
+
+// exhaustiveOffload independently re-derives Algorithm 2's search space —
+// compressed tensors grouped by (size, option), each group in Lemma 1's
+// descending distance-to-output order — and evaluates every prefix vector
+// with a fresh engine, returning the minimum iteration time and the space
+// size prod(|G_i|+1).
+func exhaustiveOffload(m *model.Model, cl *cluster.Cluster, cm *cost.Models, s *strategy.Strategy) (time.Duration, int, error) {
+	byKey := make(map[string][]int)
+	var keys []string
+	for i, opt := range s.PerTensor {
+		if !opt.Compressed() {
+			continue
+		}
+		key := fmt.Sprintf("%d|%s", m.Tensors[i].Elems, opt.Key())
+		if _, ok := byKey[key]; !ok {
+			keys = append(keys, key)
+		}
+		byKey[key] = append(byKey[key], i)
+	}
+	sort.Strings(keys)
+	groups := make([][]int, 0, len(keys))
+	space := 1
+	for _, k := range keys {
+		g := byKey[k]
+		sort.Slice(g, func(a, b int) bool {
+			return m.DistanceToOutput(g[a]) > m.DistanceToOutput(g[b])
+		})
+		groups = append(groups, g)
+		space *= len(g) + 1
+	}
+
+	best := time.Duration(-1)
+	u := make([]int, len(groups))
+	for {
+		cand := s.Clone()
+		for gi, g := range groups {
+			for j, idx := range g {
+				dev := cost.GPU
+				if j < u[gi] {
+					dev = cost.CPU
+				}
+				cand.PerTensor[idx] = s.PerTensor[idx].WithDevice(dev)
+			}
+		}
+		eng := timeline.New(m, cl, cm)
+		eng.RecordOps = false
+		it, err := eng.IterTime(cand)
+		if err != nil {
+			return 0, 0, err
+		}
+		if best < 0 || it < best {
+			best = it
+		}
+		i := 0
+		for ; i < len(groups); i++ {
+			if u[i] < len(groups[i]) {
+				u[i]++
+				break
+			}
+			u[i] = 0
+		}
+		if i == len(groups) {
+			break
+		}
+	}
+	return best, space, nil
+}
+
+// compressedOptions is the GPU-compressed slice of the cluster's shape
+// enumeration.
+func compressedOptions(cs *gen.Case) []strategy.Option {
+	var out []strategy.Option
+	for _, o := range strategy.EnumerateGPU(cs.Cluster) {
+		if o.Compressed() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// sample returns up to n distinct-index draws from opts (all of opts when
+// n >= len(opts)), in stable order.
+func sample(r *gen.Rand, opts []strategy.Option, n int) []strategy.Option {
+	if n >= len(opts) {
+		return opts
+	}
+	picked := make(map[int]bool, n)
+	idxs := make([]int, 0, n)
+	for len(idxs) < n {
+		i := r.Intn(len(opts))
+		if !picked[i] {
+			picked[i] = true
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	out := make([]strategy.Option, n)
+	for j, i := range idxs {
+		out[j] = opts[i]
+	}
+	return out
+}
+
+func dedupe(opts []strategy.Option) []strategy.Option {
+	seen := make(map[string]bool, len(opts))
+	out := opts[:0]
+	for _, o := range opts {
+		if k := o.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}

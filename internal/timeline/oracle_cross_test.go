@@ -1,0 +1,87 @@
+package timeline_test
+
+import (
+	"testing"
+	"time"
+
+	"espresso/internal/cost"
+	"espresso/internal/gen"
+	"espresso/internal/oracle"
+	"espresso/internal/strategy"
+	"espresso/internal/timeline"
+)
+
+// Cross-check against the closed-form oracle, from the engine's side of
+// the fence: on a single-tensor model there is nothing to overlap, so
+// the work-conserving engine's iteration time must equal the oracle's
+// serial sum for every enumerable option. The oracle shares no code
+// with this package — agreement here means the chain derivation and the
+// α–β cost models both implement the published formulas.
+func TestEngineMatchesOracleOnSingleChain(t *testing.T) {
+	const tol = 100 * time.Nanosecond
+	for seed := uint64(0); seed < 40; seed++ {
+		cs := gen.Generate(seed, gen.Config{MinTensors: 1, MaxTensors: 1})
+		cm, err := cost.NewModels(cs.Cluster, cs.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := oracle.New(cs.Model, cs.Cluster, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := timeline.New(cs.Model, cs.Cluster, cm)
+		eng.RecordOps = false
+		for _, opt := range strategy.Enumerate(cs.Cluster) {
+			s := strategy.Uniform(1, opt)
+			got, err := eng.IterTime(s)
+			if err != nil {
+				t.Fatalf("seed %d option %s: %v", seed, opt.Key(), err)
+			}
+			want, err := p.SerialIter(s)
+			if err != nil {
+				t.Fatalf("seed %d option %s: %v", seed, opt.Key(), err)
+			}
+			if d := got - want; d < -tol || d > tol {
+				t.Errorf("seed %d option %s: engine %v, oracle %v (Δ %v)",
+					seed, opt.Key(), got, want, d)
+			}
+		}
+	}
+}
+
+// On multi-tensor models the engine must land inside the oracle's
+// bracket: no earlier than the busiest-resource/critical-path lower
+// bound, no later than the fully serial upper bound.
+func TestEngineInsideOracleBracket(t *testing.T) {
+	const tol = 100 * time.Nanosecond
+	for seed := uint64(100); seed < 140; seed++ {
+		cs := gen.Generate(seed, gen.Config{})
+		cm, err := cost.NewModels(cs.Cluster, cs.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := oracle.New(cs.Model, cs.Cluster, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := timeline.New(cs.Model, cs.Cluster, cm)
+		eng.RecordOps = false
+		opts := strategy.Enumerate(cs.Cluster)
+		r := gen.New(seed ^ 0xc0ffee)
+		for trial := 0; trial < 4; trial++ {
+			s := strategy.Uniform(len(cs.Model.Tensors), opts[r.Intn(len(opts))])
+			it, err := eng.IterTime(s)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			lo, hi, err := p.Bounds(s)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if it < lo-tol || it > hi+tol {
+				t.Errorf("seed %d trial %d: engine %v outside oracle bracket [%v, %v]",
+					seed, trial, it, lo, hi)
+			}
+		}
+	}
+}
