@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"espresso/internal/experiments"
+	"espresso/internal/obs"
+	"espresso/internal/obs/serve"
 )
 
 var runners = map[string]func() (string, error){
@@ -121,8 +123,20 @@ func main() {
 	exp := flag.String("experiment", "all", "table1|table5|table6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|timelines|traffic|all")
 	parallel := flag.Int("parallel", 1, "worker count for sweeps and strategy searches (0 = one per CPU); results are identical at any setting")
 	jsonOut := flag.String("json-out", "", "write a machine-readable benchmark summary (selection effort and speedup vs FP32 per model) to this path and skip the experiments")
+	listen := flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address while the experiments run (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+
+	metrics := obs.NewMetrics()
+	if *listen != "" {
+		srv, err := serve.Start(*listen, metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espresso-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability endpoint at %s (/metrics, /healthz, /debug/pprof)\n", srv.URL)
+	}
 
 	if *jsonOut != "" {
 		start := time.Now()
@@ -166,7 +180,9 @@ func main() {
 
 	for _, name := range names {
 		start := time.Now()
+		stop := metrics.Timer("bench.experiment.wall_seconds")
 		out, err := runners[name]()
+		stop()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "espresso-bench: %s: %v\n", name, err)
 			os.Exit(1)

@@ -1,0 +1,165 @@
+// Command espresso-load drives sustained concurrent strategy-selection
+// traffic against the selector and records the wall-clock numbers every
+// performance PR is measured by: sustained selections/sec, latency
+// quantiles, and allocation cost per selection, written as a
+// BENCH_load_<date>.json with full run metadata.
+//
+//	espresso-load -workers 8 -duration 10s
+//	espresso-load -workers 8 -duration 10s -baseline configs/load-baseline.json
+//	espresso-load -listen 127.0.0.1:9090 -duration 5m   # scrape /metrics, profile /debug/pprof
+//
+// The workload is seeded (internal/gen), so two runs with the same
+// -seed/-cases select identical strategies and are directly comparable;
+// Result.Evals fingerprints the workload to catch accidental drift.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"espresso/internal/gen"
+	"espresso/internal/load"
+	"espresso/internal/obs"
+	"espresso/internal/obs/serve"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 8, "concurrent selection clients (0 = one per CPU)")
+		duration = flag.Duration("duration", 10*time.Second, "how long to sustain the traffic")
+		seed     = flag.Uint64("seed", 1, "base workload seed; case i uses seed+i")
+		cases    = flag.Int("cases", 64, "distinct generated cases cycled round-robin")
+		parallel = flag.Int("parallel", 1, "per-selection search parallelism (keep 1 so -workers alone sets process concurrency)")
+
+		maxTensors  = flag.Int("max-tensors", 0, "cap generated models' tensor count (0 = generator default)")
+		maxMachines = flag.Int("max-machines", 0, "cap generated clusters' machine count (0 = generator default)")
+
+		out       = flag.String("out", "", "result JSON path (default BENCH_load_<date>.json)")
+		baseline  = flag.String("baseline", "", "baseline result JSON to gate against; exit 1 on regression")
+		tol       = flag.Float64("regress-tol", 0.15, "allowed throughput drop vs the baseline (fraction)")
+		writeBase = flag.String("write-baseline", "", "also write this run's result to the given baseline path")
+
+		listen     = flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file")
+	)
+	flag.Parse()
+
+	cfg := load.Config{
+		Workers:     *workers,
+		Duration:    *duration,
+		Seed:        *seed,
+		Cases:       *cases,
+		Parallelism: *parallel,
+		Gen:         gen.Config{MaxTensors: *maxTensors, MaxMachines: *maxMachines},
+		Metrics:     obs.NewMetrics(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+
+	if *listen != "" {
+		srv, err := serve.Start(*listen, cfg.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability endpoint at %s (/metrics, /healthz, /debug/pprof)\n", srv.URL)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	res, err := load.Run(cfg)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile() // idempotent with the deferred stop
+		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuProfile)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *memProfile != "" {
+		runtime.GC()
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memProfile)
+	}
+
+	fmt.Printf("%d selections in %.1fs: %.1f selections/s\n", res.Selections, res.ElapsedS, res.SelectionsPerSec)
+	fmt.Printf("latency p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  mean %.0fµs  max %.0fµs\n",
+		res.Latency.P50Us, res.Latency.P95Us, res.Latency.P99Us, res.Latency.MeanUs, res.Latency.MaxUs)
+	fmt.Printf("allocations: %.0f B/op, %.0f allocs/op; %d F(S) evaluations total\n",
+		res.AllocBytesPerOp, res.AllocsPerOp, res.Evals)
+
+	path := *out
+	if path == "" {
+		path = "BENCH_load_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	if err := writeResult(path, res); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if *writeBase != "" {
+		if err := writeResult(*writeBase, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote baseline %s\n", *writeBase)
+	}
+
+	if *baseline != "" {
+		base, err := load.ReadResult(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		note, err := load.Compare(res, base, *tol)
+		if note != "" {
+			fmt.Fprintln(os.Stderr, note)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline gate passed: %.1f selections/s vs baseline %.1f (tol %.0f%%)\n",
+			res.SelectionsPerSec, base.SelectionsPerSec, 100**tol)
+	}
+}
+
+func writeResult(path string, res *load.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espresso-load:", err)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 	"espresso/internal/netsim"
 	"espresso/internal/obs"
 	"espresso/internal/obs/analyze"
+	"espresso/internal/obs/serve"
 	"espresso/internal/par"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
@@ -69,6 +70,7 @@ func main() {
 		analyzeOut = flag.String("analyze-out", "", "write an iteration-profile JSON (critical path, device stats, phase breakdown)")
 		chaosF     = flag.String("chaos", "", "fault-injection plan JSON; iterations run against the faulted network with retry/timeout recovery")
 		chaosOut   = flag.String("chaos-report", "", "write the chaos run report JSON (requires -chaos)")
+		listen     = flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
@@ -135,8 +137,16 @@ func main() {
 	if *traceOut != "" || *analyzeOut != "" {
 		trace = obs.NewTrace()
 	}
-	if *traceOut != "" || *metrOut != "" {
+	if *traceOut != "" || *metrOut != "" || *listen != "" {
 		metrics = obs.NewMetrics()
+	}
+	if *listen != "" {
+		srv, err := serve.Start(*listen, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability endpoint at %s (/metrics, /healthz, /debug/pprof)\n", srv.URL)
 	}
 
 	// Pick the strategy.

@@ -18,6 +18,8 @@ import (
 	"os"
 	"time"
 
+	"espresso/internal/obs"
+	"espresso/internal/obs/serve"
 	"espresso/internal/oracle/diff"
 )
 
@@ -30,8 +32,19 @@ func main() {
 		greedy   = flag.Float64("greedy-gap", 0, "allowed greedy gap over brute force (0 = default)")
 		verbose  = flag.Bool("v", false, "print progress lines")
 		failFast = flag.Bool("fail-fast", false, "stop after the first failing case")
+		listen   = flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
+
+	if *listen != "" {
+		srv, err := serve.Start(*listen, obs.NewMetrics())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espresso-verify: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability endpoint at %s (/metrics, /healthz, /debug/pprof)\n", srv.URL)
+	}
 
 	cfg := diff.Config{
 		Cases:     *cases,

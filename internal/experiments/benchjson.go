@@ -8,6 +8,7 @@ import (
 	"espresso/internal/core"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/runmeta"
 )
 
 // BenchModel is one model's row in the machine-readable benchmark
@@ -31,8 +32,11 @@ type BenchModel struct {
 }
 
 // BenchSummary is the -json-out payload of espresso-bench: one entry per
-// benchmark model on a fixed testbed and algorithm.
+// benchmark model on a fixed testbed and algorithm, stamped with the run
+// context (host, build, wall clock) that makes selection times
+// comparable across the BENCH_*.json trajectory.
 type BenchSummary struct {
+	Meta      runmeta.Meta `json:"meta"`
 	Testbed   string       `json:"testbed"`
 	Machines  int          `json:"machines"`
 	Algorithm string       `json:"algorithm"`
@@ -44,7 +48,9 @@ type BenchSummary struct {
 // effort and predicted speedup over FP32 per model.
 func Summary() (*BenchSummary, error) {
 	const machines = 8
+	start := time.Now()
 	out := &BenchSummary{
+		Meta:      runmeta.Collect(),
 		Testbed:   NVLink.Name,
 		Machines:  machines,
 		Algorithm: SpecDGC.String(),
@@ -80,6 +86,7 @@ func Summary() (*BenchSummary, error) {
 		}
 		out.Models = append(out.Models, bm)
 	}
+	out.Meta.WallClockS = time.Since(start).Seconds()
 	return out, nil
 }
 

@@ -1,0 +1,157 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"espresso/internal/core"
+	"espresso/internal/cost"
+	"espresso/internal/gen"
+	"espresso/internal/obs"
+)
+
+// smallCfg keeps generated cases tiny so a sub-second run completes
+// dozens of selections even on one core.
+func smallCfg() Config {
+	return Config{
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		Seed:     1,
+		Cases:    4,
+		Gen:      gen.Config{MaxTensors: 3, MaxElems: 1 << 14, MaxMachines: 2},
+	}
+}
+
+func TestRunProducesResult(t *testing.T) {
+	m := obs.NewMetrics()
+	cfg := smallCfg()
+	cfg.Metrics = m
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selections <= 0 {
+		t.Fatalf("no selections completed: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d selection errors", res.Errors)
+	}
+	if res.SelectionsPerSec <= 0 {
+		t.Fatalf("throughput %v, want > 0", res.SelectionsPerSec)
+	}
+	if res.ElapsedS < cfg.Duration.Seconds() {
+		t.Fatalf("elapsed %.3fs below the configured duration %.3fs", res.ElapsedS, cfg.Duration.Seconds())
+	}
+	q := res.Latency
+	if q.P50Us <= 0 || q.P50Us > q.P95Us || q.P95Us > q.P99Us || q.P99Us > q.MaxUs {
+		t.Fatalf("quantiles not ordered: %+v", q)
+	}
+	if res.AllocBytesPerOp <= 0 || res.AllocsPerOp <= 0 {
+		t.Fatalf("allocation stats missing: %+v", res)
+	}
+	if res.Evals <= 0 {
+		t.Fatalf("evals fingerprint missing: %+v", res)
+	}
+	if res.Meta.GoVersion == "" || res.Meta.GOMAXPROCS <= 0 || res.Meta.Seed != 1 {
+		t.Fatalf("meta incomplete: %+v", res.Meta)
+	}
+	// The live registry saw the same traffic the result reports.
+	if got := m.Counter("load.selections").Value(); got != res.Selections {
+		t.Fatalf("registry counted %d selections, result %d", got, res.Selections)
+	}
+	if got := m.Histogram("load.select.wall_us").Count(); got != res.Selections {
+		t.Fatalf("latency histogram holds %d observations, want %d", got, res.Selections)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Duration = 150 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_load_test.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Selections != res.Selections || back.Seed != res.Seed ||
+		back.SelectionsPerSec != res.SelectionsPerSec || back.Latency != res.Latency {
+		t.Fatalf("round trip changed the result:\n got %+v\nwant %+v", back, res)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Result{Workers: 8, Cases: 32, Seed: 1, SelectionsPerSec: 100}
+
+	ok := &Result{Workers: 8, Cases: 32, Seed: 1, SelectionsPerSec: 90}
+	if note, err := Compare(ok, base, 0.15); err != nil || note != "" {
+		t.Fatalf("10%% drop within 15%% tolerance should pass: note=%q err=%v", note, err)
+	}
+
+	faster := &Result{Workers: 8, Cases: 32, Seed: 1, SelectionsPerSec: 250}
+	if _, err := Compare(faster, base, 0.15); err != nil {
+		t.Fatalf("faster run should pass: %v", err)
+	}
+
+	slow := &Result{Workers: 8, Cases: 32, Seed: 1, SelectionsPerSec: 80}
+	_, err := Compare(slow, base, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("20%% drop should fail the 15%% gate, got %v", err)
+	}
+
+	other := &Result{Workers: 4, Cases: 32, Seed: 2, SelectionsPerSec: 90}
+	note, err := Compare(other, base, 0.15)
+	if err != nil {
+		t.Fatalf("different workload within tolerance: %v", err)
+	}
+	if !strings.Contains(note, "workload differs") {
+		t.Fatalf("expected workload-mismatch note, got %q", note)
+	}
+
+	if _, err := Compare(ok, &Result{}, 0.15); err == nil {
+		t.Fatal("empty baseline must be rejected")
+	}
+}
+
+// TestWorkloadDeterminism checks the property that makes two BENCH_load
+// files comparable: the seeded workload is reproducible, so selecting a
+// case twice costs the identical evaluation count and lands on the
+// identical predicted iteration time.
+func TestWorkloadDeterminism(t *testing.T) {
+	bounds := gen.Config{MaxTensors: 3, MaxElems: 1 << 14, MaxMachines: 2}
+	for seed := uint64(1); seed <= 4; seed++ {
+		run := func() (evals int, iter time.Duration) {
+			c := gen.Generate(seed, bounds)
+			cm, err := cost.NewModels(c.Cluster, c.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := core.NewSelector(c.Model, c.Cluster, cm)
+			_, rep, err := sel.Select()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return rep.Evals, rep.Iter
+		}
+		e1, i1 := run()
+		e2, i2 := run()
+		if e1 != e2 || i1 != i2 {
+			t.Fatalf("seed %d not reproducible: evals %d/%d iter %v/%v", seed, e1, e2, i1, i2)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics is a registry of named counters, gauges, and histograms. Names
@@ -95,6 +96,17 @@ var DurationBuckets = func() []float64 {
 // RatioBuckets is the default layout for compression-ratio observations
 // (compressed bytes / dense bytes) in (0, 1].
 var RatioBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// SecondsBuckets is the default layout for wall-clock timings in
+// seconds: exponential powers of four from 1µs to ~67s, covering both a
+// sub-millisecond candidate probe and a full model-zoo selection.
+var SecondsBuckets = func() []float64 {
+	var b []float64
+	for v := 1e-6; v <= 70; v *= 4 {
+		b = append(b, v)
+	}
+	return b
+}()
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
@@ -211,6 +223,17 @@ func (m *Metrics) Gauge(name string) *Gauge {
 		m.gauges[name] = g
 	}
 	return g
+}
+
+// Timer starts a wall-clock timer against the named histogram (created
+// with SecondsBuckets on first use) and returns the stop function, which
+// observes the elapsed time in seconds. Built for defer:
+//
+//	defer m.Timer("api.select.wall_seconds")()
+func (m *Metrics) Timer(name string) func() {
+	h := m.Histogram(name, SecondsBuckets...)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
 }
 
 // Histogram returns the named histogram, creating it with the given

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus exports the registry in the Prometheus text exposition
+// format (version 0.0.4): every counter becomes a `counter` family with
+// the conventional `_total` suffix, every gauge a `gauge` family, and
+// every histogram a `histogram` family with cumulative `le` buckets, an
+// explicit `+Inf` bucket equal to `_count`, and a `_sum` sample. Dotted
+// registry names map to underscore-separated metric names
+// ("wire.inter.compressed_bytes" -> "wire_inter_compressed_bytes_total");
+// families are emitted in sorted name order so the output is
+// deterministic for a fixed registry state. The export works off one
+// consistent Snapshot, so it is safe to call while other goroutines
+// mutate the registry.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+
+	type family struct {
+		name string
+		emit func(io.Writer) error
+	}
+	var fams []family
+
+	for name, v := range s.Counters {
+		pn := promName(name) + "_total"
+		orig, val := name, v
+		fams = append(fams, family{pn, func(w io.Writer) error {
+			if err := promHeader(w, pn, orig, "counter"); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s %d\n", pn, val)
+			return err
+		}})
+	}
+	for name, v := range s.Gauges {
+		pn := promName(name)
+		orig, val := name, v
+		fams = append(fams, family{pn, func(w io.Writer) error {
+			if err := promHeader(w, pn, orig, "gauge"); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s %s\n", pn, promFloat(val))
+			return err
+		}})
+	}
+	for name, h := range s.Histograms {
+		pn := promName(name)
+		orig, hs := name, h
+		fams = append(fams, family{pn, func(w io.Writer) error {
+			if err := promHeader(w, pn, orig, "histogram"); err != nil {
+				return err
+			}
+			for _, b := range hs.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.Le, +1) {
+					le = promFloat(b.Le)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(hs.Sum)); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count %d\n", pn, hs.Count)
+			return err
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promHeader writes the HELP and TYPE comment lines of one family.
+func promHeader(w io.Writer, pn, orig, kind string) error {
+	help := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(orig)
+	_, err := fmt.Fprintf(w, "# HELP %s espresso registry series %s\n# TYPE %s %s\n", pn, help, pn, kind)
+	return err
+}
+
+// promFloat renders a sample value in the shortest exact decimal form,
+// the convention Prometheus clients use.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName maps a dotted registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing every other byte with '_' and
+// prefixing an underscore when the name would start with a digit.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// SampleRuntime publishes a point-in-time sample of the Go runtime's
+// health into the registry as gauges: goroutine count, heap bytes and
+// objects, cumulative allocation totals, and GC pause accounting. Scrape
+// handlers call it once per exposition so a dashboard over a long
+// selection run sees the live process, not its state at startup.
+func SampleRuntime(m *Metrics) {
+	if m == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Gauge("go.goroutines").Set(float64(runtime.NumGoroutine()))
+	m.Gauge("go.gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+	m.Gauge("go.memstats.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	m.Gauge("go.memstats.heap_sys_bytes").Set(float64(ms.HeapSys))
+	m.Gauge("go.memstats.heap_objects").Set(float64(ms.HeapObjects))
+	m.Gauge("go.memstats.total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	m.Gauge("go.memstats.mallocs").Set(float64(ms.Mallocs))
+	m.Gauge("go.memstats.next_gc_bytes").Set(float64(ms.NextGC))
+	m.Gauge("go.memstats.gc_cycles").Set(float64(ms.NumGC))
+	m.Gauge("go.memstats.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+}

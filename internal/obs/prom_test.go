@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// sorted families, `_total` counters, shortest-form floats, cumulative
+// buckets with an explicit +Inf.
+func TestWritePrometheusGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("wire.inter.compressed-bytes").Add(5)
+	m.Gauge("timeline.utilization.gpu").Set(0.825)
+	h := m.Histogram("probe.us", 1, 2.5, 10)
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP probe_us espresso registry series probe.us
+# TYPE probe_us histogram
+probe_us_bucket{le="1"} 1
+probe_us_bucket{le="2.5"} 2
+probe_us_bucket{le="10"} 2
+probe_us_bucket{le="+Inf"} 3
+probe_us_sum 102.5
+probe_us_count 3
+# HELP timeline_utilization_gpu espresso registry series timeline.utilization.gpu
+# TYPE timeline_utilization_gpu gauge
+timeline_utilization_gpu 0.825
+# HELP wire_inter_compressed_bytes_total espresso registry series wire.inter.compressed-bytes
+# TYPE wire_inter_compressed_bytes_total counter
+wire_inter_compressed_bytes_total 5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"wire.inter.bytes": "wire_inter_bytes",
+		"9lives":           "_9lives",
+		"a-b c/d":          "a_b_c_d",
+		"ok_name:sub":      "ok_name:sub",
+		"":                 "_",
+		"löss":             "l__ss", // two UTF-8 bytes, each replaced
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promLine matches one sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (.+)$`)
+
+// parseProm is a strict structural parser for the subset of the v0.0.4
+// text format this package emits. It fails the test on any line that a
+// Prometheus scraper would reject and returns every sample.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	var lastFamily string
+	seenType := make(map[string]string)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, kind := parts[2], parts[3]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("unknown type %q in %q", kind, line)
+			}
+			if _, dup := seenType[name]; dup {
+				t.Fatalf("duplicate TYPE for family %s", name)
+			}
+			seenType[name] = kind
+			lastFamily = name
+			continue
+		}
+		mm := promLine.FindStringSubmatch(line)
+		if mm == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, le, val := mm[1], mm[3], mm[4]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if base != lastFamily && name != lastFamily {
+			t.Fatalf("sample %q outside its family block (last TYPE %s)", line, lastFamily)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil && val != "+Inf" && val != "-Inf" && val != "NaN" {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		key := name
+		if le != "" {
+			key = name + `{le="` + le + `"}`
+			if _, err := strconv.ParseFloat(le, 64); err != nil && le != "+Inf" {
+				t.Fatalf("unparseable le in %q", line)
+			}
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+// TestPrometheusBucketCumulativity drives seeded random observations
+// through histograms with assorted bucket layouts and asserts the
+// exposition-level histogram contract: bucket counts are non-decreasing
+// in le, the +Inf bucket equals _count, and _sum matches the observed
+// total.
+func TestPrometheusBucketCumulativity(t *testing.T) {
+	rng := newSplitmix(42)
+	layouts := [][]float64{nil, {1, 10, 100}, RatioBuckets, SecondsBuckets}
+	for trial := 0; trial < 25; trial++ {
+		m := NewMetrics()
+		names := []string{"a.us", "b.ratio", "c"}
+		sums := make(map[string]float64)
+		counts := make(map[string]int64)
+		for _, name := range names {
+			h := m.Histogram(name, layouts[int(rng()%uint64(len(layouts)))]...)
+			n := int(rng() % 200)
+			for i := 0; i < n; i++ {
+				// Spread observations across ~9 decades, including
+				// values beyond every layout's last bound.
+				v := float64(rng()%1e9) / 100
+				h.Observe(v)
+				sums[name] += v
+				counts[name]++
+			}
+		}
+		var b strings.Builder
+		if err := m.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		samples := parseProm(t, b.String())
+		for _, name := range names {
+			pn := promName(name)
+			prev := -1.0
+			prevLe := math.Inf(-1)
+			// Walk buckets in le order via the snapshot, checking the
+			// exposition agrees sample by sample.
+			hs := m.Snapshot().Histograms[name]
+			for _, bk := range hs.Buckets {
+				le := "+Inf"
+				if !math.IsInf(bk.Le, +1) {
+					le = promFloat(bk.Le)
+				}
+				got, ok := samples[pn+`_bucket{le="`+le+`"}`]
+				if !ok {
+					t.Fatalf("trial %d: missing bucket le=%s for %s", trial, le, pn)
+				}
+				if got != float64(bk.Count) {
+					t.Fatalf("trial %d: bucket le=%s of %s: exposition %v, snapshot %d", trial, le, pn, got, bk.Count)
+				}
+				if got < prev {
+					t.Fatalf("trial %d: bucket counts not cumulative at le=%s for %s (%v < %v)", trial, le, pn, got, prev)
+				}
+				if bk.Le <= prevLe {
+					t.Fatalf("trial %d: bucket bounds not ascending at le=%s for %s", trial, le, pn)
+				}
+				prev, prevLe = got, bk.Le
+			}
+			if inf := samples[pn+`_bucket{le="+Inf"}`]; inf != float64(counts[name]) {
+				t.Fatalf("trial %d: +Inf bucket %v != count %d for %s", trial, inf, counts[name], pn)
+			}
+			if got := samples[pn+"_count"]; got != float64(counts[name]) {
+				t.Fatalf("trial %d: _count %v != %d for %s", trial, got, counts[name], pn)
+			}
+			if got := samples[pn+"_sum"]; math.Abs(got-sums[name]) > 1e-6*math.Max(1, math.Abs(sums[name])) {
+				t.Fatalf("trial %d: _sum %v != %v for %s", trial, got, sums[name], pn)
+			}
+		}
+	}
+}
+
+// newSplitmix is a tiny deterministic stream for property tests (the
+// test must not depend on math/rand's cross-version behavior).
+func newSplitmix(seed uint64) func() uint64 {
+	s := seed
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+func TestTimerObservesSeconds(t *testing.T) {
+	m := NewMetrics()
+	stop := m.Timer("api.select.wall_seconds")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	h := m.Histogram("api.select.wall_seconds")
+	if h.Count() != 1 {
+		t.Fatalf("timer recorded %d observations, want 1", h.Count())
+	}
+	if s := h.Sum(); s < 0.002 || s > 5 {
+		t.Fatalf("timer observed %v seconds, want >= 2ms wall clock", s)
+	}
+}
+
+func TestSampleRuntime(t *testing.T) {
+	m := NewMetrics()
+	SampleRuntime(m)
+	if g := m.Gauge("go.goroutines").Value(); g < 1 {
+		t.Fatalf("go.goroutines = %v, want >= 1", g)
+	}
+	if g := m.Gauge("go.memstats.heap_alloc_bytes").Value(); g <= 0 {
+		t.Fatalf("heap_alloc_bytes = %v, want > 0", g)
+	}
+	SampleRuntime(nil) // must be a no-op, not a panic
+}

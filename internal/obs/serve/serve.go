@@ -1,0 +1,89 @@
+// Package serve is the embeddable runtime-observability endpoint: a
+// small HTTP server that exposes a live obs.Metrics registry in the
+// Prometheus text format on /metrics, a liveness probe on /healthz, and
+// the Go runtime profiler on /debug/pprof. Every long-running command
+// (espresso-bench, espresso-sim, espresso-verify, espresso-load) mounts
+// it behind a -listen flag, so any run can be scraped and profiled while
+// it works:
+//
+//	curl http://127.0.0.1:9090/metrics
+//	go tool pprof http://127.0.0.1:9090/debug/pprof/profile?seconds=10
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"espresso/internal/obs"
+)
+
+// Handler returns the observability mux over a registry: /metrics
+// (Prometheus text format v0.0.4, with a fresh Go-runtime sample folded
+// in per scrape), /healthz, and net/http/pprof under /debug/pprof/. The
+// registry must not be nil; scrapes are safe while other goroutines
+// mutate it.
+func Handler(m *obs.Metrics) http.Handler {
+	if m == nil {
+		panic("serve: nil metrics registry")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "espresso observability endpoint\n\n/metrics\n/healthz\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		obs.SampleRuntime(m)
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := m.WritePrometheus(w); err != nil {
+			// The header is gone; all we can do is abort the body.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a started observability endpoint.
+type Server struct {
+	// URL is the server's base address with the bound port resolved
+	// ("http://127.0.0.1:9090"), so addr ":0" yields a usable URL.
+	URL string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; an empty host binds all interfaces,
+// port 0 picks a free one) and serves the Handler mux in a background
+// goroutine until Close.
+func Start(addr string, m *obs.Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		URL: "http://" + ln.Addr().String(),
+		ln:  ln,
+		srv: &http.Server{Handler: Handler(m), ReadHeaderTimeout: 10 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Close
+	return s, nil
+}
+
+// Close stops the server and releases the port. In-flight scrapes are
+// cut off; the CLIs call this on exit, where that is the point.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"espresso/internal/obs"
+)
+
+func startTestServer(t *testing.T, m *obs.Metrics) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? \S+$`)
+
+// checkExposition asserts every line of a /metrics body is one a
+// Prometheus scraper accepts.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("exposition contained no samples")
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter("wire.inter.bytes").Add(7)
+	s := startTestServer(t, m)
+
+	code, body, _ := get(t, s.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr := get(t, s.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	checkExposition(t, body)
+	for _, want := range []string{
+		"wire_inter_bytes_total 7",
+		"go_goroutines ", // runtime collector sampled per scrape
+		"go_memstats_heap_alloc_bytes ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body, _ = get(t, s.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	if code, _, _ = get(t, s.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope = %d, want 404", code)
+	}
+}
+
+// TestPprofProfile fetches a short CPU profile and checks it is the
+// gzipped protobuf `go tool pprof` reads.
+func TestPprofProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1s profile capture in -short mode")
+	}
+	s := startTestServer(t, obs.NewMetrics())
+	code, body, _ := get(t, s.URL+"/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK {
+		t.Fatalf("profile = %d", code)
+	}
+	if len(body) < 2 || body[0] != 0x1f || body[1] != 0x8b {
+		t.Fatalf("profile is not gzipped protobuf (%d bytes, magic %x)", len(body), body[:min(2, len(body))])
+	}
+}
+
+// TestScrapeWhileMutating hammers the registry from writer goroutines
+// while scraping /metrics — the -race pass over this test is the
+// concurrency contract of the whole exposition path.
+func TestScrapeWhileMutating(t *testing.T) {
+	m := obs.NewMetrics()
+	s := startTestServer(t, m)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("load.worker%d.us", w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Counter("load.selections").Inc()
+				m.Gauge("load.depth").Set(float64(i))
+				m.Histogram(name, obs.DurationBuckets...).Observe(float64(i % 1000))
+				m.Timer("load.tick_seconds")()
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		code, body, _ := get(t, s.URL+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d: status %d", scrapes, code)
+		}
+		checkExposition(t, body)
+		scrapes++
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes == 0 {
+		t.Fatal("no scrape completed")
+	}
+}

@@ -1,0 +1,44 @@
+package runmeta
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestCollect(t *testing.T) {
+	m := Collect()
+	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" {
+		t.Fatalf("build identity incomplete: %+v", m)
+	}
+	if m.GOMAXPROCS < 1 || m.NumCPU < 1 {
+		t.Fatalf("cpu accounting incomplete: %+v", m)
+	}
+	if _, err := time.Parse(time.RFC3339, m.Date); err != nil {
+		t.Fatalf("date %q not RFC 3339: %v", m.Date, err)
+	}
+	// GitRev may legitimately be empty on hosts without VCS metadata;
+	// when present it must be hex with an optional dirty marker.
+	if m.GitRev != "" {
+		rev := m.GitRev
+		if n := len(rev); n > 6 && rev[n-6:] == "+dirty" {
+			rev = rev[:n-6]
+		}
+		for _, c := range rev {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				t.Fatalf("git rev %q is not hex", m.GitRev)
+			}
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Meta
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip changed meta: %+v vs %+v", back, m)
+	}
+}

@@ -62,6 +62,9 @@ func SelectTraced(job Job, tel *Telemetry) (*Strategy, *Report, error) {
 	if tel == nil {
 		return Select(job)
 	}
+	// Wall clock, not virtual time: api.* series observe the process's
+	// own performance, the quantity espresso-load drives.
+	defer tel.metrics.Timer("api.select.wall_seconds")()
 	r, err := job.resolve()
 	if err != nil {
 		return nil, nil, err
@@ -93,6 +96,9 @@ func SelectTraced(job Job, tel *Telemetry) (*Strategy, *Report, error) {
 // PredictTraced is Predict with telemetry: the strategy's derived
 // timeline is replayed into tel alongside the performance report.
 func PredictTraced(job Job, s *Strategy, tel *Telemetry) (*Report, error) {
+	if tel != nil {
+		defer tel.metrics.Timer("api.predict.wall_seconds")()
+	}
 	rep, err := Predict(job, s)
 	if err != nil {
 		return nil, err

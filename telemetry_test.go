@@ -112,8 +112,12 @@ func TestSelectTracedOnBERTConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	var metrics struct {
-		Counters map[string]int64   `json:"counters"`
-		Gauges   map[string]float64 `json:"gauges"`
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count int64   `json:"count"`
+			Sum   float64 `json:"sum"`
+		} `json:"histograms"`
 	}
 	if err := json.Unmarshal(mbuf.Bytes(), &metrics); err != nil {
 		t.Fatalf("metrics output is not valid JSON: %v", err)
@@ -123,6 +127,12 @@ func TestSelectTracedOnBERTConfig(t *testing.T) {
 	}
 	if got := metrics.Gauges["search.compressed"]; got != float64(rep.CompressedTensors) {
 		t.Errorf("search.compressed = %v, report says %d", got, rep.CompressedTensors)
+	}
+	// The traced call timed its own wall clock: one observation, at
+	// least as long as the search the report measured.
+	if h := metrics.Histograms["api.select.wall_seconds"]; h.Count != 1 || h.Sum < rep.SelectionTime.Seconds() {
+		t.Errorf("api.select.wall_seconds = %d obs / %.3fs, want 1 obs >= selection time %v",
+			h.Count, h.Sum, rep.SelectionTime)
 	}
 
 	// PredictTraced replays the same strategy into a fresh collector.
