@@ -1,0 +1,74 @@
+// Command espresso-benchgate compares `go test -bench` output against a
+// checked-in baseline and fails (exit 1) on regression. It gates two
+// quantities with independent tolerances: wall-clock ns/op (hardware
+// dependent — use a strict tolerance only when baseline and current ran
+// on the same machine) and allocs/op (deterministic — strict
+// everywhere; this is the gate that protects the allocation-free
+// selection hot path). Baseline benchmarks missing from the current run
+// also fail, so a deleted benchmark cannot silently retire its gate.
+//
+// Usage:
+//
+//	go test -bench 'Selection|Timeline' -benchmem -run '^$' . > bench.txt
+//	espresso-benchgate -baseline internal/baselines/testdata/bench-baseline.txt \
+//	    -current bench.txt -max-slowdown 0.15 -max-alloc-growth 0.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"espresso/internal/baselines"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "internal/baselines/testdata/bench-baseline.txt", "baseline `file` (go test -bench output)")
+	currentPath := flag.String("current", "-", "current `file` (go test -bench output), - for stdin")
+	maxSlowdown := flag.Float64("max-slowdown", 0.15, "allowed fractional ns/op growth; negative disables the wall-clock gate")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 0.0, "allowed fractional allocs/op growth; negative disables the allocation gate")
+	flag.Parse()
+
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(base) == 0 {
+		fatal(fmt.Errorf("baseline %s contains no benchmark results", *baselinePath))
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("current run contains no benchmark results"))
+	}
+
+	gate := baselines.BenchGate{MaxSlowdown: *maxSlowdown, MaxAllocGrowth: *maxAllocGrowth}
+	deltas, missing := gate.Compare(base, cur)
+	baselines.WriteBenchReport(os.Stdout, deltas, missing)
+	if baselines.BenchRegressed(deltas, missing) {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+func parseFile(path string) ([]baselines.BenchResult, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return baselines.ParseBench(r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -12,10 +12,15 @@ type fp32 struct{ spec Spec }
 
 func (c fp32) Spec() Spec { return c.spec }
 
-func (c fp32) Compress(x []float32, _ uint64) *Payload {
-	vals := make([]float32, len(x))
+func (c fp32) Compress(x []float32, seed uint64) *Payload {
+	return c.CompressInto(new(Payload), x, seed)
+}
+
+func (c fp32) CompressInto(dst *Payload, x []float32, _ uint64) *Payload {
+	vals := f32Buf(dst.Values, len(x))
 	copy(vals, x)
-	return &Payload{Algo: FP32, N: len(x), Values: vals}
+	*dst = Payload{Algo: FP32, N: len(x), Values: vals}
+	return dst
 }
 
 func (c fp32) Decompress(p *Payload, out []float32) error {
@@ -37,18 +42,26 @@ func (c randomK) Spec() Spec { return c.spec }
 // Compress keeps k elements chosen by a seeded Floyd sample, so every
 // worker running with the same seed selects the same coordinates.
 func (c randomK) Compress(x []float32, seed uint64) *Payload {
+	return c.CompressInto(new(Payload), x, seed)
+}
+
+func (c randomK) CompressInto(dst *Payload, x []float32, seed uint64) *Payload {
 	n := len(x)
 	if n == 0 {
-		return &Payload{Algo: RandomK}
+		*dst = Payload{Algo: RandomK}
+		return dst
 	}
 	k := keepCount(c.spec.Ratio, n)
 	rng := splitmix64(seed)
-	idx := floydSample(&rng, n, k)
-	vals := make([]float32, k)
+	sc := kernelPool.Get().(*kernelScratch)
+	idx := floydSample(&rng, n, k, sc.resetSet(k), i32Buf(dst.Indices, k))
+	kernelPool.Put(sc)
+	vals := f32Buf(dst.Values, k)
 	for i, j := range idx {
 		vals[i] = x[j]
 	}
-	return &Payload{Algo: RandomK, N: n, Indices: idx, Values: vals}
+	*dst = Payload{Algo: RandomK, N: n, Indices: idx, Values: vals}
+	return dst
 }
 
 func (c randomK) Decompress(p *Payload, out []float32) error {
@@ -60,9 +73,9 @@ func (c randomK) WireBytes(n int) int {
 }
 
 // floydSample draws k distinct indices from [0,n) with Robert Floyd's
-// algorithm, returned sorted ascending.
-func floydSample(rng *splitmix64, n, k int) []int32 {
-	chosen := make(map[int32]struct{}, k)
+// algorithm into idx (whose capacity must be at least k), returned sorted
+// ascending. chosen is the caller's empty membership scratch.
+func floydSample(rng *splitmix64, n, k int, chosen map[int32]struct{}, idx []int32) []int32 {
 	for j := n - k; j < n; j++ {
 		t := int32(rng.intn(j + 1))
 		if _, dup := chosen[t]; dup {
@@ -70,7 +83,7 @@ func floydSample(rng *splitmix64, n, k int) []int32 {
 		}
 		chosen[t] = struct{}{}
 	}
-	idx := make([]int32, 0, k)
+	idx = idx[:0]
 	for i := range chosen {
 		idx = append(idx, i)
 	}
@@ -89,17 +102,25 @@ func (c dgc) Spec() Spec { return c.spec }
 // a random sample, select everything above it, then trim or backfill to
 // exactly k so the wire size stays deterministic (a requirement of §4.3).
 func (c dgc) Compress(x []float32, seed uint64) *Payload {
+	return c.CompressInto(new(Payload), x, seed)
+}
+
+func (c dgc) CompressInto(dst *Payload, x []float32, seed uint64) *Payload {
 	n := len(x)
 	if n == 0 {
-		return &Payload{Algo: DGC}
+		*dst = Payload{Algo: DGC}
+		return dst
 	}
 	k := keepCount(c.spec.Ratio, n)
 	rng := splitmix64(seed)
+	sc := kernelPool.Get().(*kernelScratch)
+	defer kernelPool.Put(sc)
 
 	// Sample max(1%, 4k-capped) of the tensor to estimate the
 	// threshold, as the DGC reference implementation does.
 	sampleN := dgcSampleSize(n)
-	sample := make([]float32, sampleN)
+	sample := f32Buf(sc.sample, sampleN)
+	sc.sample = sample
 	for i := range sample {
 		v := x[rng.intn(n)]
 		if v < 0 {
@@ -118,7 +139,7 @@ func (c dgc) Compress(x []float32, seed uint64) *Payload {
 	sort.Slice(sample, func(a, b int) bool { return sample[a] < sample[b] })
 	thresh := sample[rank]
 
-	idx := make([]int32, 0, k+k/4)
+	idx := i32Buf(dst.Indices, k)[:0]
 	for i, v := range x {
 		if v < 0 {
 			v = -v
@@ -127,12 +148,13 @@ func (c dgc) Compress(x []float32, seed uint64) *Payload {
 			idx = append(idx, int32(i))
 		}
 	}
-	idx = fitToK(x, idx, k)
-	vals := make([]float32, k)
+	idx = fitToK(x, idx, k, sc)
+	vals := f32Buf(dst.Values, k)
 	for i, j := range idx {
 		vals[i] = x[j]
 	}
-	return &Payload{Algo: DGC, N: n, Indices: idx, Values: vals}
+	*dst = Payload{Algo: DGC, N: n, Indices: idx, Values: vals}
+	return dst
 }
 
 func (c dgc) Decompress(p *Payload, out []float32) error {
@@ -163,24 +185,26 @@ func (c dgc) WireBytes(n int) int {
 
 // fitToK trims the selection to the k largest magnitudes if it overshot,
 // or backfills with the largest remaining magnitudes if it undershot,
-// returning exactly k sorted indices.
-func fitToK(x []float32, idx []int32, k int) []int32 {
+// returning exactly k sorted indices. sc supplies the membership and
+// ordering scratch.
+func fitToK(x []float32, idx []int32, k int, sc *kernelScratch) []int32 {
 	if len(idx) > k {
 		sort.Slice(idx, func(a, b int) bool {
 			return mag(x[idx[a]]) > mag(x[idx[b]])
 		})
 		idx = idx[:k]
 	} else if len(idx) < k {
-		selected := make(map[int32]struct{}, len(idx))
+		selected := sc.resetSet(len(idx))
 		for _, i := range idx {
 			selected[i] = struct{}{}
 		}
-		rest := make([]int32, 0, len(x)-len(idx))
+		rest := sc.order[:0]
 		for i := range x {
 			if _, ok := selected[int32(i)]; !ok {
 				rest = append(rest, int32(i))
 			}
 		}
+		sc.order = rest
 		sort.Slice(rest, func(a, b int) bool {
 			return mag(x[rest[a]]) > mag(x[rest[b]])
 		})
@@ -203,24 +227,35 @@ type topK struct{ spec Spec }
 
 func (c topK) Spec() Spec { return c.spec }
 
-func (c topK) Compress(x []float32, _ uint64) *Payload {
+func (c topK) Compress(x []float32, seed uint64) *Payload {
+	return c.CompressInto(new(Payload), x, seed)
+}
+
+func (c topK) CompressInto(dst *Payload, x []float32, _ uint64) *Payload {
 	n := len(x)
 	if n == 0 {
-		return &Payload{Algo: TopK}
+		*dst = Payload{Algo: TopK}
+		return dst
 	}
 	k := keepCount(c.spec.Ratio, n)
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = int32(i)
+	sc := kernelPool.Get().(*kernelScratch)
+	perm := i32Buf(sc.order, n)
+	sc.order = perm
+	for i := range perm {
+		perm[i] = int32(i)
 	}
-	sort.Slice(idx, func(a, b int) bool { return mag(x[idx[a]]) > mag(x[idx[b]]) })
-	idx = idx[:k]
-	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
-	vals := make([]float32, k)
+	sort.Slice(perm, func(a, b int) bool { return mag(x[perm[a]]) > mag(x[perm[b]]) })
+	top := perm[:k]
+	sort.Slice(top, func(a, b int) bool { return top[a] < top[b] })
+	idx := i32Buf(dst.Indices, k)
+	copy(idx, top)
+	kernelPool.Put(sc)
+	vals := f32Buf(dst.Values, k)
 	for i, j := range idx {
 		vals[i] = x[j]
 	}
-	return &Payload{Algo: TopK, N: n, Indices: idx, Values: vals}
+	*dst = Payload{Algo: TopK, N: n, Indices: idx, Values: vals}
+	return dst
 }
 
 func (c topK) Decompress(p *Payload, out []float32) error {
@@ -239,9 +274,13 @@ func (c efSign) Spec() Spec { return c.spec }
 
 // Compress emits one sign bit per element plus the mean absolute value as
 // the shared scale, the EFSignSGD encoding.
-func (c efSign) Compress(x []float32, _ uint64) *Payload {
+func (c efSign) Compress(x []float32, seed uint64) *Payload {
+	return c.CompressInto(new(Payload), x, seed)
+}
+
+func (c efSign) CompressInto(dst *Payload, x []float32, _ uint64) *Payload {
 	n := len(x)
-	bits := make([]byte, (n+7)/8)
+	bits := bitsBuf(dst.Bits, (n+7)/8)
 	var sum float64
 	for i, v := range x {
 		if v >= 0 {
@@ -253,7 +292,8 @@ func (c efSign) Compress(x []float32, _ uint64) *Payload {
 	if n > 0 {
 		scale = float32(sum / float64(n))
 	}
-	return &Payload{Algo: EFSignSGD, N: n, Bits: bits, Scale: scale}
+	*dst = Payload{Algo: EFSignSGD, N: n, Bits: bits, Scale: scale}
+	return dst
 }
 
 func (c efSign) Decompress(p *Payload, out []float32) error {
@@ -287,6 +327,10 @@ func (c qsgd) Spec() Spec { return c.spec }
 // stochastic rounding; each element takes one sign bit plus
 // ceil(log2(levels+1)) magnitude bits, packed little-endian.
 func (c qsgd) Compress(x []float32, seed uint64) *Payload {
+	return c.CompressInto(new(Payload), x, seed)
+}
+
+func (c qsgd) CompressInto(dst *Payload, x []float32, seed uint64) *Payload {
 	n := len(x)
 	levels := c.spec.Levels
 	rng := splitmix64(seed)
@@ -297,7 +341,7 @@ func (c qsgd) Compress(x []float32, seed uint64) *Payload {
 	norm = math.Sqrt(norm)
 	scale := float32(norm)
 	bitsPer := qsgdBitsPerElem(levels)
-	bits := make([]byte, (n*bitsPer+7)/8)
+	bits := bitsBuf(dst.Bits, (n*bitsPer+7)/8)
 	for i, v := range x {
 		code := uint64(0) // sign in lowest bit
 		if v >= 0 {
@@ -318,7 +362,8 @@ func (c qsgd) Compress(x []float32, seed uint64) *Payload {
 		code |= level << 1
 		putBits(bits, i*bitsPer, bitsPer, code)
 	}
-	return &Payload{Algo: QSGD, N: n, Bits: bits, Scale: scale}
+	*dst = Payload{Algo: QSGD, N: n, Bits: bits, Scale: scale}
+	return dst
 }
 
 func (c qsgd) Decompress(p *Payload, out []float32) error {
@@ -363,6 +408,10 @@ func (c ternGrad) Spec() Spec { return c.spec }
 // Compress maps each element to {-1, 0, +1} * max|x| with stochastic
 // rounding, packing 2 bits per element.
 func (c ternGrad) Compress(x []float32, seed uint64) *Payload {
+	return c.CompressInto(new(Payload), x, seed)
+}
+
+func (c ternGrad) CompressInto(dst *Payload, x []float32, seed uint64) *Payload {
 	n := len(x)
 	rng := splitmix64(seed)
 	var maxAbs float64
@@ -372,7 +421,7 @@ func (c ternGrad) Compress(x []float32, seed uint64) *Payload {
 			maxAbs = a
 		}
 	}
-	bits := make([]byte, (2*n+7)/8)
+	bits := bitsBuf(dst.Bits, (2*n+7)/8)
 	for i, v := range x {
 		code := uint64(0) // 0 => zero, 1 => +scale, 2 => -scale
 		if maxAbs > 0 {
@@ -387,7 +436,8 @@ func (c ternGrad) Compress(x []float32, seed uint64) *Payload {
 		}
 		putBits(bits, 2*i, 2, code)
 	}
-	return &Payload{Algo: TernGrad, N: n, Bits: bits, Scale: float32(maxAbs)}
+	*dst = Payload{Algo: TernGrad, N: n, Bits: bits, Scale: float32(maxAbs)}
+	return dst
 }
 
 func (c ternGrad) Decompress(p *Payload, out []float32) error {

@@ -136,6 +136,12 @@ type Compressor interface {
 	// deterministic and must vary per (tensor, iteration) to avoid
 	// systematic bias. The returned payload has Base 0.
 	Compress(x []float32, seed uint64) *Payload
+	// CompressInto is Compress writing into dst: dst is fully
+	// overwritten (Base reset to 0) and returned, with its backing
+	// arrays (Indices, Values, Bits) reused when they have capacity.
+	// The executable engine hands each GPU a long-lived payload so
+	// steady-state compression allocates nothing beyond buffer growth.
+	CompressInto(dst *Payload, x []float32, seed uint64) *Payload
 	// Decompress reconstructs the dense region into out, which must
 	// have length p.N. Elements the payload does not carry are zeroed.
 	Decompress(p *Payload, out []float32) error

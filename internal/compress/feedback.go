@@ -31,6 +31,15 @@ func (ef *ErrorFeedback) Compressor() Compressor { return ef.c }
 // corrects grad with the stored residual for key, compresses the corrected
 // gradient, and stores the new residual. grad is not modified.
 func (ef *ErrorFeedback) Compress(key string, grad []float32, seed uint64) (*Payload, error) {
+	return ef.CompressInto(new(Payload), key, grad, seed)
+}
+
+// CompressInto is Compress writing the payload into dst (see
+// Compressor.CompressInto): dst's backing arrays are reused, so a caller
+// synchronizing the same tensors every iteration compresses with no
+// steady-state payload allocation. The corrected gradient still allocates
+// once per call — it becomes the stored residual.
+func (ef *ErrorFeedback) CompressInto(dst *Payload, key string, grad []float32, seed uint64) (*Payload, error) {
 	ef.mu.Lock()
 	residual := ef.mem[key]
 	ef.mu.Unlock()
@@ -45,16 +54,20 @@ func (ef *ErrorFeedback) Compress(key string, grad []float32, seed uint64) (*Pay
 			corrected[i] += r
 		}
 	}
-	p := ef.c.Compress(corrected, seed)
+	p := ef.c.CompressInto(dst, corrected, seed)
 
-	recon := make([]float32, len(grad))
+	sc := kernelPool.Get().(*kernelScratch)
+	recon := f32Buf(sc.sample, len(grad))
+	sc.sample = recon
 	if err := ef.c.Decompress(p, recon); err != nil {
+		kernelPool.Put(sc)
 		return nil, err
 	}
 	newResidual := corrected // reuse: corrected - recon
 	for i := range newResidual {
 		newResidual[i] -= recon[i]
 	}
+	kernelPool.Put(sc)
 	ef.mu.Lock()
 	ef.mem[key] = newResidual
 	ef.mu.Unlock()

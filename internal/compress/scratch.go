@@ -1,0 +1,56 @@
+package compress
+
+import "sync"
+
+// kernelScratch holds the per-call intermediate storage of the selection
+// kernels — threshold samples, Floyd sets, magnitude orders — working
+// state that never escapes into payloads. It is pooled so steady-state
+// compression of a fixed tensor set allocates only what the payload
+// itself carries.
+type kernelScratch struct {
+	sample []float32
+	set    map[int32]struct{}
+	order  []int32
+}
+
+var kernelPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+// resetSet returns the scratch's membership set, emptied.
+func (s *kernelScratch) resetSet(hint int) map[int32]struct{} {
+	if s.set == nil {
+		s.set = make(map[int32]struct{}, hint)
+	} else {
+		clear(s.set)
+	}
+	return s.set
+}
+
+// f32Buf returns a length-n slice backed by buf when it has capacity.
+// Contents are unspecified; callers overwrite every element.
+func f32Buf(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float32, n)
+}
+
+// i32Buf is f32Buf for index slices.
+func i32Buf(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n)
+}
+
+// bitsBuf returns a zeroed length-n byte slice backed by buf when it has
+// capacity — the bit packers OR bits in, so reused buffers must be clean.
+func bitsBuf(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}

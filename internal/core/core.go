@@ -115,9 +115,21 @@ type Selector struct {
 	// sound and cuts the sweep cost roughly in half.
 	dedupBySize map[int][]strategy.Option
 
-	// lastRemoved records the tensors the most recent sweep ruled out by
-	// bubble analysis (Property #1); the explain pass reports them.
-	lastRemoved map[int]bool
+	// lastRemoved records, per tensor index, whether the most recent
+	// sweep ruled the tensor out by bubble analysis (Property #1); the
+	// explain pass reports them.
+	lastRemoved []bool
+
+	// sigScratch and offScratch back candidatesFor's signature
+	// comparisons, reused across tensor sizes within a selection.
+	sigScratch []timeline.ChainSig
+	offScratch []int
+
+	// bubbleRes and bubbleScratch are the reusable op log and tensor
+	// list of removeBeforeBubbles, so the per-improvement bubble pass
+	// allocates nothing in steady state.
+	bubbleRes     timeline.Result
+	bubbleScratch []int
 }
 
 // NewSelector builds a selector with the full GPU candidate set C_gpu.
@@ -333,23 +345,54 @@ func (sel *Selector) candidatesFor(idx int) ([]strategy.Option, error) {
 	if sel.dedupBySize == nil {
 		sel.dedupBySize = make(map[int][]strategy.Option)
 	}
-	seen := make(map[string]bool, len(sel.candidates))
-	var out []strategy.Option
+	// Structural dedup: accepted signatures live back to back in one flat
+	// buffer (offs[j]:offs[j+1] is the j-th accepted chain), and each
+	// candidate's signature is appended, compared against all accepted
+	// ones, and truncated away again if it duplicates. First occurrence
+	// wins, exactly as a string-keyed map would give.
+	var (
+		sigs = sel.sigScratch[:0]
+		offs = append(sel.offScratch[:0], 0)
+		out  []strategy.Option
+	)
 	for _, cand := range sel.candidates {
-		key, err := sel.eng.ChainKey(idx, cand)
+		start := len(sigs)
+		var err error
+		sigs, err = sel.eng.AppendChainSig(idx, cand, sigs)
 		if err != nil {
 			return nil, err
 		}
-		if !seen[key] {
-			seen[key] = true
+		cur := sigs[start:]
+		dup := false
+		for j := 0; j+1 < len(offs) && !dup; j++ {
+			dup = sigsEqual(sigs[offs[j]:offs[j+1]], cur)
+		}
+		if dup {
+			sigs = sigs[:start]
+		} else {
+			offs = append(offs, len(sigs))
 			out = append(out, cand)
 		}
 	}
 	if sel.Obs != nil {
 		sel.Obs.Counter("search.candidates_pruned").Add(int64(len(sel.candidates) - len(out)))
 	}
+	sel.sigScratch, sel.offScratch = sigs, offs
 	sel.dedupBySize[size] = out
 	return out, nil
+}
+
+// sigsEqual reports whether two chain signatures are element-wise equal.
+func sigsEqual(a, b []timeline.ChainSig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // order returns tensor indices sorted for Algorithm 1, lines 2-3:
@@ -377,7 +420,7 @@ func (sel *Selector) order() []int {
 // removeBeforeBubbles implements Remove() of Algorithm 1 (Property #1):
 // derive the communication timeline under the current strategy and rule
 // out the uncompressed tensors communicated before bubbles.
-func (sel *Selector) removeBeforeBubbles(s *strategy.Strategy, removed map[int]bool, rep *Report) error {
+func (sel *Selector) removeBeforeBubbles(s *strategy.Strategy, removed []bool, rep *Report) error {
 	if sel.SkipBubbleAnalysis {
 		return sel.eng.Prepare(s)
 	}
@@ -386,18 +429,24 @@ func (sel *Selector) removeBeforeBubbles(s *strategy.Strategy, removed map[int]b
 	if err := sel.eng.Prepare(s); err != nil {
 		return err
 	}
-	r, err := sel.eng.Run()
-	if err != nil {
+	if err := sel.eng.RunInto(&sel.bubbleRes); err != nil {
 		return err
 	}
 	rep.Evals++
-	for t := range r.TensorsBeforeBubbles() {
+	sel.bubbleScratch = sel.bubbleRes.AppendBubbleTensors(sel.bubbleRes.BottleneckComm(), sel.bubbleScratch[:0])
+	for _, t := range sel.bubbleScratch {
 		if !s.PerTensor[t].Compressed() && !removed[t] {
 			removed[t] = true
 			rep.Ruled++
 		}
 	}
 	return nil
+}
+
+// ruled reports whether the most recent sweep's bubble analysis ruled out
+// tensor idx; safe to call before any sweep has run.
+func (sel *Selector) ruled(idx int) bool {
+	return idx < len(sel.lastRemoved) && sel.lastRemoved[idx]
 }
 
 // maxSweeps bounds Algorithm 1's refinement. The paper describes a single
@@ -598,7 +647,7 @@ func (sel *Selector) MyopicStrategy() (*strategy.Strategy, error) {
 // candidate the sequential first-strict-improvement scan keeps, so the
 // result is bit-identical to the sequential sweep.
 func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Strategy, error) {
-	removed := make(map[int]bool)
+	removed := make([]bool, len(sel.M.Tensors))
 	if err := sel.removeBeforeBubbles(s, removed, rep); err != nil {
 		return nil, err
 	}

@@ -142,7 +142,7 @@ func (sel *Selector) explainDecisions(s *strategy.Strategy, rep *Report) error {
 			Tensor: idx,
 			Name:   sel.M.Tensors[idx].Name,
 			Chosen: chosen,
-			Ruled:  sel.lastRemoved[idx],
+			Ruled:  sel.ruled(idx),
 		}
 		d.Candidates = make([]CandidateEval, len(probes))
 		for i := range probes {

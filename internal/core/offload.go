@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"espresso/internal/cost"
@@ -29,7 +29,7 @@ func (sel *Selector) offloadGroups(s *strategy.Strategy) [][]int {
 		if !opt.Compressed() {
 			continue
 		}
-		key := fmt.Sprintf("%d|%s", sel.M.Tensors[i].Elems, opt.Key())
+		key := strconv.Itoa(sel.M.Tensors[i].Elems) + "|" + opt.Key()
 		if _, ok := byKey[key]; !ok {
 			keys = append(keys, key)
 		}
@@ -111,12 +111,29 @@ func (sel *Selector) OffloadCPU(s *strategy.Strategy, rep *Report) (*strategy.St
 	return best, nil
 }
 
-// normalizeGPU points every grouped tensor's compression at the GPU, both
-// in the strategy copy and in the prepared engine.
-func (sel *Selector) normalizeGPU(out *strategy.Strategy, groups [][]int) error {
+// offloadVariants precomputes each grouped tensor's CPU- and GPU-placed
+// option once. The probe loops below assign the same few placements tens
+// of thousands of times; reusing one Option value per (tensor, device)
+// lets the engine's chain memo hit by identity instead of re-deriving a
+// chain for every freshly built WithDevice copy.
+func (sel *Selector) offloadVariants(s *strategy.Strategy, groups [][]int) (cpu, gpu map[int]strategy.Option) {
+	cpu = make(map[int]strategy.Option)
+	gpu = make(map[int]strategy.Option)
 	for _, g := range groups {
 		for _, idx := range g {
-			opt := out.PerTensor[idx].WithDevice(cost.GPU)
+			cpu[idx] = s.PerTensor[idx].WithDevice(cost.CPU)
+			gpu[idx] = s.PerTensor[idx].WithDevice(cost.GPU)
+		}
+	}
+	return cpu, gpu
+}
+
+// normalizeGPU points every grouped tensor's compression at the GPU, both
+// in the strategy copy and in the prepared engine.
+func (sel *Selector) normalizeGPU(out *strategy.Strategy, groups [][]int, gpu map[int]strategy.Option) error {
+	for _, g := range groups {
+		for _, idx := range g {
+			opt := gpu[idx]
 			out.PerTensor[idx] = opt
 			if err := sel.eng.SetOption(idx, opt); err != nil {
 				return err
@@ -130,14 +147,18 @@ func (sel *Selector) normalizeGPU(out *strategy.Strategy, groups [][]int) error 
 // toggling one tensor's device per step.
 func (sel *Selector) exactOffload(s *strategy.Strategy, groups [][]int, rep *Report) (*strategy.Strategy, error) {
 	out := s.Clone()
+	cpuOpt, gpuOpt := sel.offloadVariants(s, groups)
 	if err := sel.eng.Prepare(out); err != nil {
 		return nil, err
 	}
-	if err := sel.normalizeGPU(out, groups); err != nil {
+	if err := sel.normalizeGPU(out, groups, gpuOpt); err != nil {
 		return nil, err
 	}
 	setDev := func(idx int, dev cost.Device) error {
-		opt := s.PerTensor[idx].WithDevice(dev)
+		opt := gpuOpt[idx]
+		if dev == cost.CPU {
+			opt = cpuOpt[idx]
+		}
 		out.PerTensor[idx] = opt
 		return sel.eng.SetOption(idx, opt)
 	}
@@ -180,11 +201,11 @@ func (sel *Selector) exactOffload(s *strategy.Strategy, groups [][]int, rep *Rep
 	// Apply the best U.
 	for gi, g := range groups {
 		for j, idx := range g {
-			dev := cost.GPU
+			opt := gpuOpt[idx]
 			if j < bestU[gi] {
-				dev = cost.CPU
+				opt = cpuOpt[idx]
 			}
-			out.PerTensor[idx] = s.PerTensor[idx].WithDevice(dev)
+			out.PerTensor[idx] = opt
 		}
 	}
 	return out, nil
@@ -194,10 +215,11 @@ func (sel *Selector) exactOffload(s *strategy.Strategy, groups [][]int, rep *Rep
 // iteration time improves — the large-space fallback.
 func (sel *Selector) greedyOffload(s *strategy.Strategy, groups [][]int, rep *Report) (*strategy.Strategy, error) {
 	out := s.Clone()
+	cpuOpt, gpuOpt := sel.offloadVariants(s, groups)
 	if err := sel.eng.Prepare(out); err != nil {
 		return nil, err
 	}
-	if err := sel.normalizeGPU(out, groups); err != nil {
+	if err := sel.normalizeGPU(out, groups, gpuOpt); err != nil {
 		return nil, err
 	}
 	r, err := sel.eng.Run()
@@ -217,7 +239,7 @@ func (sel *Selector) greedyOffload(s *strategy.Strategy, groups [][]int, rep *Re
 				continue
 			}
 			idx := g[u[gi]]
-			cand := s.PerTensor[idx].WithDevice(cost.CPU)
+			cand := cpuOpt[idx]
 			if err := sel.eng.SetOption(idx, cand); err != nil {
 				return nil, err
 			}
@@ -243,7 +265,7 @@ func (sel *Selector) greedyOffload(s *strategy.Strategy, groups [][]int, rep *Re
 			break
 		}
 		idx := groups[bestGroup][u[bestGroup]]
-		out.PerTensor[idx] = s.PerTensor[idx].WithDevice(cost.CPU)
+		out.PerTensor[idx] = cpuOpt[idx]
 		if err := sel.eng.SetOption(idx, out.PerTensor[idx]); err != nil {
 			return nil, err
 		}

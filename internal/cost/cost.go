@@ -207,6 +207,11 @@ type Models struct {
 	// chaos layer uses them to model slow devices.
 	gpuScale float64
 	cpuScale float64
+
+	// comp is the Spec's compressor, built once: WireBytes sits on the
+	// strategy search's chain-derivation hot path and must not
+	// re-construct the compressor per call.
+	comp compress.Compressor
 }
 
 // NewModels builds the models for a cluster and compression algorithm.
@@ -245,6 +250,7 @@ func NewModels(c *cluster.Cluster, spec compress.Spec) (*Models, error) {
 		stagingBps: c.PCIeHostBandwidth,
 		gpuScale:   1,
 		cpuScale:   1,
+		comp:       compress.MustNew(spec),
 	}, nil
 }
 
@@ -365,7 +371,12 @@ func (m *Models) StagingTime(bytes int64) time.Duration {
 // WireBytes reports the compressed wire size of denseBytes of FP32
 // gradient under the configured algorithm.
 func (m *Models) WireBytes(denseBytes int64) int64 {
-	comp := compress.MustNew(m.Spec)
+	comp := m.comp
+	if comp == nil {
+		// Models built by hand (tests) rather than NewModels; do not
+		// cache — Models are shared read-only across worker engines.
+		comp = compress.MustNew(m.Spec)
+	}
 	n := int(denseBytes / 4)
 	if n == 0 && denseBytes > 0 {
 		n = 1

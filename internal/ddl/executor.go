@@ -43,6 +43,13 @@ type Executor struct {
 	// name and region.
 	ef []*compress.ErrorFeedback
 
+	// payloadScratch holds one long-lived payload per GPU, recycled
+	// through compress.CompressInto: by the time any Comp step runs,
+	// every payload a previous Comp step produced (and every slice
+	// derived from it) has been decompressed and dropped, so the
+	// backing arrays are safe to reuse across steps and tensors.
+	payloadScratch []*compress.Payload
+
 	traffic Traffic
 }
 
@@ -211,6 +218,12 @@ func (x *Executor) groups(sc strategy.Scope, states []nodeState) [][]int {
 }
 
 func (x *Executor) compressStep(name string, states []nodeState, seed uint64, useEF bool) error {
+	if x.payloadScratch == nil {
+		x.payloadScratch = make([]*compress.Payload, len(states))
+		for i := range x.payloadScratch {
+			x.payloadScratch[i] = new(compress.Payload)
+		}
+	}
 	for g := range states {
 		s := &states[g]
 		if !s.active {
@@ -220,12 +233,12 @@ func (x *Executor) compressStep(name string, states []nodeState, seed uint64, us
 		var err error
 		if useEF && !x.DisableErrorFeedback {
 			key := fmt.Sprintf("%s@%d:%d", name, s.lo, s.hi)
-			p, err = x.ef[g].Compress(key, s.dense, seed+uint64(g))
+			p, err = x.ef[g].CompressInto(x.payloadScratch[g], key, s.dense, seed+uint64(g))
 			if err != nil {
 				return err
 			}
 		} else {
-			p = x.comp.Compress(s.dense, seed+uint64(g))
+			p = x.comp.CompressInto(x.payloadScratch[g], s.dense, seed+uint64(g))
 		}
 		p.Base = s.lo
 		if x.Metrics != nil {

@@ -40,9 +40,15 @@ func Each(n, workers int, task func(worker, i int) error) error {
 		}
 		return nil
 	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	// Errors are rare on the probe hot path; track only the lowest-index
+	// one under a mutex instead of allocating a per-call error slice.
+	var (
+		mu     sync.Mutex
+		firstI = -1
+		firstE error
+		next   atomic.Int64
+		wg     sync.WaitGroup
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -52,15 +58,16 @@ func Each(n, workers int, task func(worker, i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = task(worker, i)
+				if err := task(worker, i); err != nil {
+					mu.Lock()
+					if firstI < 0 || i < firstI {
+						firstI, firstE = i, err
+					}
+					mu.Unlock()
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return firstE
 }

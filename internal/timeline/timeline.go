@@ -13,6 +13,7 @@ package timeline
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"espresso/internal/cluster"
@@ -108,15 +109,35 @@ func (r *Result) BottleneckComm() Resource {
 // widen the gap, never shift later communications earlier.
 func (r *Result) TensorsBeforeBubbles() map[int]bool {
 	out := make(map[int]bool)
-	ops := r.CommOps(r.BottleneckComm())
-	for i := 0; i+1 < len(ops); i++ {
-		// The gap is a bubble only if the successor was genuinely not
-		// ready (rather than scheduled late).
-		if ops[i+1].Span.Start > ops[i].Span.End && ops[i+1].Span.Ready > ops[i].Span.End {
-			out[ops[i].Tensor] = true
-		}
+	for _, t := range r.AppendBubbleTensors(r.BottleneckComm(), nil) {
+		out[t] = true
 	}
 	return out
+}
+
+// AppendBubbleTensors appends to dst the tensors communicated before a
+// bubble on res and returns the extended slice — TensorsBeforeBubbles
+// without the map and intermediate op-slice allocations, for the greedy
+// sweep's per-improvement bubble analysis. A tensor with several bubble-
+// preceding communications appears once per bubble; callers dedupe.
+func (r *Result) AppendBubbleTensors(res Resource, dst []int) []int {
+	// Ops are ordered by completion, and a single-server resource
+	// completes in start order, so streaming the resource's comm ops
+	// pairs each one with its successor exactly as CommOps would.
+	have := false
+	var prev Op
+	for _, op := range r.Ops {
+		if op.Res != res || op.Step < 0 {
+			continue
+		}
+		// The gap is a bubble only if the successor was genuinely not
+		// ready (rather than scheduled late).
+		if have && op.Span.Start > prev.Span.End && op.Span.Ready > prev.Span.End {
+			dst = append(dst, prev.Tensor)
+		}
+		prev, have = op, true
+	}
+	return dst
 }
 
 // Gantt renders a human-readable timeline (for cmd/espresso-sim and the
@@ -161,23 +182,63 @@ type Engine struct {
 	commSink *[]CommStep
 
 	// Reused scratch state; Engine is therefore not concurrency-safe.
+	//
+	// chains holds the per-tensor job pipelines. Every chain array is
+	// immutable once built: it is owned by the chain memo and only ever
+	// pointed at, never rewritten in place, so Clone can share the whole
+	// table and clones can Run concurrently with the original.
 	chains    [][]jobSpec
-	queues    [numResources][]leanJob
+	queues    [numResources]jobQueue
 	busyUntil [numResources]time.Duration
 	cur       [numResources]leanJob
+
+	// chainMemo caches derived chains by (tensor bytes, option identity):
+	// chains depend on nothing else for a fixed engine configuration, and
+	// the greedy sweep probes the same few dozen candidate options across
+	// every tensor, so after warm-up SetOption is a map hit plus a copy
+	// instead of a full cost-model derivation. Option identity is the
+	// Steps backing array, which assumes options are immutable once built
+	// — the contract the strategy package's constructors already follow.
+	// Never shared: clones start with a nil memo, so concurrent engines
+	// never race on it.
+	chainMemo map[chainMemoKey][]jobSpec
+
+	// resScratch is the Result Run reuses when RecordOps is off — the
+	// decision algorithm's inner loop runs tens of thousands of probes
+	// per selection and must not allocate per probe.
+	resScratch Result
+	// jobScratch backs ChainKey/CommTime/CompTime chain derivations.
+	jobScratch []jobSpec
+
+	// Observe's span-name caches, keyed by content (tensor, step, and
+	// the step's value), so they never need invalidation when the
+	// observed strategy changes.
+	bwNames   []string
+	stepNames map[stepNameKey]string
 }
 
 // New builds an engine. The cost models must match the cluster.
 func New(m *model.Model, c *cluster.Cluster, cm *cost.Models) *Engine {
-	return &Engine{M: m, C: c, Cost: cm, RecordOps: true}
+	n := len(m.Tensors)
+	return &Engine{
+		M: m, C: c, Cost: cm, RecordOps: true,
+		// Pre-size the chain table from the model once: strategies always
+		// cover exactly the model's tensors, so Prepare never has to grow
+		// the outer array again.
+		chains: make([][]jobSpec, 0, n),
+	}
 }
 
 // Clone returns an independent engine for the same (model, cluster, GC)
-// configuration, carrying the configuration flags and a deep copy of any
-// prepared per-tensor pipelines. The model, cluster, and cost models are
-// shared read-only, so a clone may Run concurrently with the original
-// and with other clones — the engine-pool pattern the parallel strategy
-// search uses for independent F(S) evaluations.
+// configuration, carrying the configuration flags and the prepared
+// per-tensor pipelines. Chain arrays are immutable (SetOption only ever
+// repoints a tensor's entry at a memoized chain), so the clone shares
+// them outright and neither engine can observe the other's writes. The
+// model, cluster, and cost models are shared read-only too, so a clone
+// may Run concurrently with the original and with other clones — the
+// engine-pool pattern the parallel strategy search uses for independent
+// F(S) evaluations. The chain memo itself is not shared: each clone
+// rebuilds its own, keeping engines race-free without locks.
 func (e *Engine) Clone() *Engine {
 	out := &Engine{
 		M: e.M, C: e.C, Cost: e.Cost,
@@ -185,19 +246,34 @@ func (e *Engine) Clone() *Engine {
 		RecordOps:       e.RecordOps,
 		ComputeScale:    e.ComputeScale,
 	}
+	n := len(e.M.Tensors)
 	if len(e.chains) > 0 {
-		out.chains = make([][]jobSpec, len(e.chains))
-		for i, ch := range e.chains {
-			out.chains[i] = append([]jobSpec(nil), ch...)
-		}
+		out.chains = make([][]jobSpec, len(e.chains), n)
+		copy(out.chains, e.chains)
+	} else {
+		out.chains = make([][]jobSpec, 0, n)
 	}
 	return out
 }
 
-// prio orders jobs on shared resources: all work of tensor i precedes
-// work of tensor j>i, and within a tensor the backward kernel precedes
-// pipeline steps. stepSlot 0 is backward, 1+s is option step s.
-func prio(tensor, stepSlot int) int64 { return int64(tensor)<<8 | int64(stepSlot) }
+// jobPrio packs a job's identity into one orderable word. The high bits
+// carry the schedule priority — all work of tensor i precedes work of
+// tensor j>i, and within a tensor the backward kernel (stepSlot 0)
+// precedes option steps (stepSlot 1+s) — while the low byte carries the
+// chain index (+1, so the backward kernel's -1 encodes as 0) purely for
+// the completion path to recover. The chain index can only break ties
+// between jobs with equal (tensor, stepSlot), which never share a queue
+// (a step's jobs land on distinct resources), so heap order — and the
+// simulated schedule — is exactly that of the unpacked priority.
+func jobPrio(tensor, stepSlot, job int) int64 {
+	return int64(tensor)<<24 | int64(stepSlot)<<8 | int64(job+1)
+}
+
+func jobTensor(p int64) int32 { return int32(p >> 24) }
+func jobIndex(p int64) int    { return int(p&0xff) - 1 }
+
+// jobStep recovers the option step index (-1 for the backward kernel).
+func jobStep(p int64) int { return int(p>>8)&0xffff - 1 }
 
 // jobSpec is one precomputed unit of work in a tensor's pipeline.
 type jobSpec struct {
@@ -230,12 +306,15 @@ func (e *Engine) Prepare(s *strategy.Strategy) error {
 			len(s.PerTensor), len(e.M.Tensors))
 	}
 	total := len(e.M.Tensors)
-	if cap(e.chains) < total {
-		chains := make([][]jobSpec, total)
-		copy(chains, e.chains)
-		e.chains = chains
+	// Grow the chain table within capacity when possible; New pre-sizes
+	// it from the model, so the growth path is normally never taken.
+	if cap(e.chains) >= total {
+		e.chains = e.chains[:total]
+	} else {
+		grown := make([][]jobSpec, total)
+		copy(grown, e.chains[:cap(e.chains)])
+		e.chains = grown
 	}
-	e.chains = e.chains[:total]
 	for i, opt := range s.PerTensor {
 		if err := e.SetOption(i, opt); err != nil {
 			return err
@@ -244,9 +323,29 @@ func (e *Engine) Prepare(s *strategy.Strategy) error {
 	return nil
 }
 
+// chainMemoKey identifies a derived chain: tensor size plus the option's
+// Steps backing array (options are immutable once built, so the array
+// pointer plus length is the option's identity). ZeroCompression is part
+// of the key because it changes every chain and may be toggled on a
+// live engine (the §5.1 Upper Bound path).
+type chainMemoKey struct {
+	bytes int64
+	step0 *strategy.Step
+	n     int
+	zc    bool
+}
+
 // SetOption replaces tensor i's pipeline with opt. Prepare must have run.
+// The first assignment of each (tensor size, option) pair derives the
+// chain and memoizes it; every later assignment — the steady state of
+// the greedy sweep, which swaps the same few candidate options across
+// tensors tens of thousands of times — repoints the tensor's entry at
+// the memoized array without deriving or copying anything. opt's Steps
+// must not be mutated afterwards: chains are cached by the Steps
+// array's identity, and the cached arrays are shared (immutably) with
+// clones of this engine.
 func (e *Engine) SetOption(i int, opt strategy.Option) error {
-	chain, err := e.chainInto(i, opt, e.chains[i][:0])
+	chain, err := e.memoChain(i, opt)
 	if err != nil {
 		return err
 	}
@@ -254,13 +353,76 @@ func (e *Engine) SetOption(i int, opt strategy.Option) error {
 	return nil
 }
 
+// memoChain returns the immutable memoized chain for (tensor i's size,
+// opt), deriving and caching it on first use. AppendChainSig shares
+// this cache, so the candidate-dedup pass that opens a sweep also warms
+// the memo for the probe loop that follows.
+func (e *Engine) memoChain(i int, opt strategy.Option) ([]jobSpec, error) {
+	key := chainMemoKey{bytes: e.M.Tensors[i].Bytes(), n: len(opt.Steps), zc: e.ZeroCompression}
+	if key.n > 0 {
+		key.step0 = &opt.Steps[0]
+	}
+	if memo, ok := e.chainMemo[key]; ok {
+		return memo, nil
+	}
+	// A step expands to at most two jobs (CPU compression adds a staging
+	// hop), so this capacity always holds the full chain in one array.
+	chain, err := e.chainInto(i, opt, make([]jobSpec, 0, 2*len(opt.Steps)))
+	if err != nil {
+		return nil, err
+	}
+	// jobPrio packs the chain index into 8 bits and the step slot into 16;
+	// stepSlot <= len(chain), so one guard covers both fields.
+	if len(chain) > 0xfe {
+		return nil, fmt.Errorf("timeline: tensor %d chain of %d jobs exceeds job-packing width", i, len(chain))
+	}
+	if e.chainMemo == nil {
+		e.chainMemo = make(map[chainMemoKey][]jobSpec)
+	}
+	e.chainMemo[key] = chain
+	return chain, nil
+}
+
 // Run evaluates the currently loaded configuration.
+//
+// With RecordOps off — the decision loop's configuration — the returned
+// Result is the engine's own reusable scratch: it is valid until the next
+// Run/RunInto on this engine, which keeps the probe loop allocation-free.
+// Callers that need the Result to outlive the next evaluation must copy
+// it (or run with RecordOps on, which returns a fresh Result).
 func (e *Engine) Run() (*Result, error) {
+	if !e.RecordOps {
+		if err := e.RunInto(&e.resScratch); err != nil {
+			return nil, err
+		}
+		return &e.resScratch, nil
+	}
+	res := &Result{}
+	// Pre-size the op log to its exact final length: one op per chain
+	// job plus one backward kernel per tensor.
+	ops := len(e.M.Tensors)
+	for _, ch := range e.chains {
+		ops += len(ch)
+	}
+	res.Ops = make([]Op, 0, ops)
+	if err := e.RunInto(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is Run evaluating into a caller-owned Result, reusing its Ops
+// backing array — the pooled-scratch entry point for callers that
+// evaluate in a loop (the bubble-analysis pass of the greedy sweep).
+func (e *Engine) RunInto(res *Result) error {
 	total := len(e.M.Tensors)
 
-	res := &Result{}
+	res.Makespan = 0
+	res.Iter = 0
+	res.Ops = res.Ops[:0]
+	res.ResBusy = [numResources]time.Duration{}
 	for r := range e.queues {
-		e.queues[r] = e.queues[r][:0]
+		e.queues[r].n = 0
 		e.busyUntil[r] = -1
 		e.cur[r] = leanJob{}
 	}
@@ -269,15 +431,22 @@ func (e *Engine) Run() (*Result, error) {
 	// order runs them in index order, with GPU compression of earlier
 	// tensors interleaving ahead of later kernels (Reason #1).
 	for i := range e.M.Tensors {
-		e.push(ResGPU, leanJob{prio: prio(i, 0), tensor: int32(i), job: -1, ready: 0,
+		e.push(ResGPU, leanJob{prio: jobPrio(i, 0, -1), ready: 0,
 			dur: e.scaleCompute(e.M.Tensors[i].Compute)})
 	}
 
 	var now, finish time.Duration
 	done := 0
-	dispatch := func() {
-		for r := range e.queues {
-			if e.busyUntil[r] < 0 && len(e.queues[r]) > 0 {
+	// dispatch checks only the resources in mask — a resource's
+	// (idle, queue-nonempty) state changes solely when it completes a
+	// job or receives a push, and the event loop marks exactly those
+	// dirty, so every idle resource outside the mask is known to have an
+	// empty queue. Ascending resource order matches a full scan.
+	dispatch := func(mask uint32) {
+		for mask != 0 {
+			r := bits.TrailingZeros32(mask)
+			mask &^= 1 << r
+			if e.busyUntil[r] < 0 && e.queues[r].n > 0 {
 				j := e.pop(Resource(r))
 				j.start = now
 				e.cur[r] = j
@@ -285,7 +454,7 @@ func (e *Engine) Run() (*Result, error) {
 			}
 		}
 	}
-	dispatch()
+	dispatch(1<<numResources - 1)
 	for {
 		// Find the earliest completion.
 		next := time.Duration(-1)
@@ -300,22 +469,25 @@ func (e *Engine) Run() (*Result, error) {
 		now = next
 		// Complete everything finishing at this instant before
 		// dispatching, so same-instant arrivals compete on priority.
+		var dirty uint32
 		for r := range e.busyUntil {
 			if e.busyUntil[r] != now {
 				continue
 			}
 			j := e.cur[r]
 			e.busyUntil[r] = -1
+			dirty |= 1 << r
+			tensor := jobTensor(j.prio)
 			if e.RecordOps {
 				res.Ops = append(res.Ops, Op{
-					Tensor: int(j.tensor), Step: jobStep(j),
+					Tensor: int(tensor), Step: jobStep(j.prio),
 					Res:  Resource(r),
 					Span: sim.Span{Ready: j.ready, Start: j.start, End: now},
 				})
 			}
 			res.ResBusy[r] += j.dur
-			chain := e.chains[j.tensor]
-			nextJob := int(j.job) + 1
+			chain := e.chains[tensor]
+			nextJob := jobIndex(j.prio) + 1
 			if nextJob >= len(chain) {
 				done++
 				if now > finish {
@@ -325,18 +497,19 @@ func (e *Engine) Run() (*Result, error) {
 			}
 			spec := chain[nextJob]
 			e.push(spec.res, leanJob{
-				prio: prio(int(j.tensor), 1+spec.step), tensor: j.tensor,
-				job: int32(nextJob), step: int32(spec.step), ready: now, dur: spec.dur,
+				prio:  jobPrio(int(tensor), 1+spec.step, nextJob),
+				ready: now, dur: spec.dur,
 			})
+			dirty |= 1 << uint(spec.res)
 		}
-		dispatch()
+		dispatch(dirty)
 	}
 	if done != total {
-		return nil, fmt.Errorf("timeline: %d of %d tensors completed (pipeline deadlock)", done, total)
+		return fmt.Errorf("timeline: %d of %d tensors completed (pipeline deadlock)", done, total)
 	}
 	res.Makespan = finish
 	res.Iter = e.scaleCompute(e.M.Forward) + finish
-	return res, nil
+	return nil
 }
 
 // scaleCompute applies the slow-device multiplier to a compute duration.
@@ -347,63 +520,76 @@ func (e *Engine) scaleCompute(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * e.ComputeScale)
 }
 
-// leanJob is an in-flight or queued unit of work.
+// leanJob is an in-flight or queued unit of work. Its identity lives
+// packed inside prio (see jobPrio); keeping the struct at 32 bytes
+// instead of 48 cuts the copy traffic of every heap sift and dispatch
+// in the event loop.
 type leanJob struct {
-	prio   int64
-	tensor int32
-	job    int32 // index into the tensor's chain; -1 for the backward kernel
-	step   int32 // option step for recording
-	ready  time.Duration
-	start  time.Duration
-	dur    time.Duration
+	prio  int64
+	ready time.Duration
+	start time.Duration
+	dur   time.Duration
 }
 
-func jobStep(j leanJob) int {
-	if j.job < 0 {
-		return -1
-	}
-	return int(j.step)
+// jobQueue is a binary min-heap of ready jobs with an explicit length,
+// so push/pop mutate elements and an int rather than re-storing the
+// slice header into the Engine — a pointer store that would fire a GC
+// write barrier on every heap operation of the event loop. The header
+// is only written when the buffer grows, which pre-sizing amortizes to
+// nothing.
+type jobQueue struct {
+	buf []leanJob
+	n   int
 }
 
-// push adds a job to a resource's ready heap.
+// push adds a job to a resource's ready heap. The sift-up moves parents
+// down into a hole instead of swapping, writing the new job once at its
+// final slot. Priorities are unique within a queue (a tensor never has
+// two jobs of the same step slot on one resource), so heap order — and
+// therefore the simulated schedule — is deterministic.
 func (e *Engine) push(r Resource, j leanJob) {
-	q := append(e.queues[r], j)
-	i := len(q) - 1
+	q := &e.queues[r]
+	if q.n == len(q.buf) {
+		q.buf = append(q.buf, j)
+	}
+	b := q.buf
+	i := q.n
+	q.n++
 	for i > 0 {
 		parent := (i - 1) / 2
-		if q[parent].prio <= q[i].prio {
+		if b[parent].prio <= j.prio {
 			break
 		}
-		q[parent], q[i] = q[i], q[parent]
+		b[i] = b[parent]
 		i = parent
 	}
-	e.queues[r] = q
+	b[i] = j
 }
 
 // pop removes the lowest-priority-value ready job.
 func (e *Engine) pop(r Resource) leanJob {
-	q := e.queues[r]
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q = q[:n]
+	q := &e.queues[r]
+	b := q.buf
+	top := b[0]
+	n := q.n - 1
+	q.n = n
+	j := b[n]
 	i := 0
 	for {
-		l, rr := 2*i+1, 2*i+2
-		small := i
-		if l < n && q[l].prio < q[small].prio {
-			small = l
-		}
-		if rr < n && q[rr].prio < q[small].prio {
-			small = rr
-		}
-		if small == i {
+		l := 2*i + 1
+		if l >= n {
 			break
 		}
-		q[i], q[small] = q[small], q[i]
-		i = small
+		if rr := l + 1; rr < n && b[rr].prio < b[l].prio {
+			l = rr
+		}
+		if b[l].prio >= j.prio {
+			break
+		}
+		b[i] = b[l]
+		i = l
 	}
-	e.queues[r] = q
+	b[i] = j
 	return top
 }
 
