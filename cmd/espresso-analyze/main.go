@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"espresso/internal/compress"
 	"espresso/internal/core"
 	"espresso/internal/cost"
+	"espresso/internal/logx"
 	"espresso/internal/model"
 	"espresso/internal/obs"
 	"espresso/internal/obs/analyze"
@@ -30,6 +32,10 @@ import (
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
+
+// log carries the CLI's structured stderr diagnostics; built in main
+// from the shared -log-level/-log-json flags.
+var log *slog.Logger
 
 func main() {
 	var (
@@ -48,7 +54,10 @@ func main() {
 		analysis = flag.String("analysis-out", "", "write the machine-readable profile JSON here")
 		traceOut = flag.String("trace-out", "", "also write the derived timeline as Chrome trace-event JSON (job mode only)")
 	)
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log = logf.Logger()
 
 	var (
 		spans []obs.Span
@@ -202,6 +211,5 @@ func writeFile(path string, write func(w io.Writer) error) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "espresso-analyze:", err)
-	os.Exit(1)
+	logx.Fatal(log, err.Error())
 }

@@ -9,12 +9,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"espresso/internal/experiments"
+	"espresso/internal/logx"
 	"espresso/internal/obs"
 	"espresso/internal/obs/serve"
 )
@@ -119,36 +121,40 @@ func renderPanels(panels []*experiments.Throughput, err error) (string, error) {
 	return b.String(), nil
 }
 
+// log carries the CLI's structured stderr diagnostics; built in main
+// from the shared -log-level/-log-json flags.
+var log *slog.Logger
+
 func main() {
 	exp := flag.String("experiment", "all", "table1|table5|table6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|timelines|traffic|all")
 	parallel := flag.Int("parallel", 1, "worker count for sweeps and strategy searches (0 = one per CPU); results are identical at any setting")
 	jsonOut := flag.String("json-out", "", "write a machine-readable benchmark summary (selection effort and speedup vs FP32 per model) to this path and skip the experiments")
 	listen := flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address while the experiments run (e.g. 127.0.0.1:9090)")
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log = logf.Logger()
 	experiments.SetParallelism(*parallel)
 
 	metrics := obs.NewMetrics()
 	if *listen != "" {
 		srv, err := serve.Start(*listen, metrics)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espresso-bench: %v\n", err)
-			os.Exit(1)
+			logx.Fatal(log, "listen failed", "err", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "observability endpoint at %s (/metrics, /healthz, /debug/pprof)\n", srv.URL)
+		log.Info("observability endpoint up", "url", srv.URL)
 	}
 
 	if *jsonOut != "" {
 		start := time.Now()
 		sum, err := experiments.Summary()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espresso-bench: summary: %v\n", err)
-			os.Exit(1)
+			logx.Fatal(log, "summary failed", "err", err)
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espresso-bench: %v\n", err)
-			os.Exit(1)
+			logx.Fatal(log, "summary write failed", "path", *jsonOut, "err", err)
 		}
 		if err := sum.WriteJSON(f); err == nil {
 			err = f.Close()
@@ -156,8 +162,7 @@ func main() {
 			f.Close()
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espresso-bench: %v\n", err)
-			os.Exit(1)
+			logx.Fatal(log, "summary write failed", "path", *jsonOut, "err", err)
 		}
 		fmt.Printf("wrote benchmark summary (%d models, %v) to %s\n",
 			len(sum.Models), time.Since(start).Round(time.Millisecond), *jsonOut)
@@ -172,8 +177,7 @@ func main() {
 		sort.Strings(names)
 	} else {
 		if _, ok := runners[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "espresso-bench: unknown experiment %q\n", *exp)
-			os.Exit(1)
+			logx.Fatal(log, "unknown experiment", "name", *exp)
 		}
 		names = []string{*exp}
 	}
@@ -184,8 +188,7 @@ func main() {
 		out, err := runners[name]()
 		stop()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espresso-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			logx.Fatal(log, "experiment failed", "name", name, "err", err)
 		}
 		fmt.Printf("===== %s (%v) =====\n%s\n", name, time.Since(start).Round(time.Millisecond), out)
 	}

@@ -18,17 +18,26 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"espresso/internal/baselines"
+	"espresso/internal/logx"
 )
+
+// log carries the CLI's structured stderr diagnostics; built in main
+// from the shared -log-level/-log-json flags.
+var log *slog.Logger
 
 func main() {
 	baselinePath := flag.String("baseline", "internal/baselines/testdata/bench-baseline.txt", "baseline `file` (go test -bench output)")
 	currentPath := flag.String("current", "-", "current `file` (go test -bench output), - for stdin")
 	maxSlowdown := flag.Float64("max-slowdown", 0.15, "allowed fractional ns/op growth; negative disables the wall-clock gate")
 	maxAllocGrowth := flag.Float64("max-alloc-growth", 0.0, "allowed fractional allocs/op growth; negative disables the allocation gate")
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log = logf.Logger()
 
 	base, err := parseFile(*baselinePath)
 	if err != nil {
@@ -49,8 +58,7 @@ func main() {
 	deltas, missing := gate.Compare(base, cur)
 	baselines.WriteBenchReport(os.Stdout, deltas, missing)
 	if baselines.BenchRegressed(deltas, missing) {
-		fmt.Fprintln(os.Stderr, "benchgate: FAIL")
-		os.Exit(1)
+		logx.Fatal(log, "benchmark gate failed", "baseline", *baselinePath)
 	}
 	fmt.Println("benchgate: ok")
 }
@@ -69,6 +77,5 @@ func parseFile(path string) ([]baselines.BenchResult, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchgate:", err)
-	os.Exit(1)
+	logx.Fatal(log, err.Error())
 }

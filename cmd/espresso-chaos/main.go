@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"espresso/internal/compress"
 	"espresso/internal/core"
 	"espresso/internal/cost"
+	"espresso/internal/logx"
 	"espresso/internal/model"
 	"espresso/internal/par"
 )
@@ -32,6 +34,10 @@ type sweepRow struct {
 	InterScale  float64            `json:"inter_scale"`
 	Reselection *chaos.Reselection `json:"reselection"`
 }
+
+// log carries the CLI's structured stderr diagnostics; built in main
+// from the shared -log-level/-log-json flags.
+var log *slog.Logger
 
 func main() {
 	var (
@@ -45,7 +51,10 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "strategy-search workers (0 = one per CPU)")
 		jsonOut    = flag.String("json-out", "", "write the sweep rows as JSON")
 	)
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log = logf.Logger()
 
 	m, err := model.ByName(*modelF)
 	if err != nil {
@@ -116,6 +125,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "espresso-chaos:", err)
-	os.Exit(1)
+	logx.Fatal(log, err.Error())
 }

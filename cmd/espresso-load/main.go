@@ -7,6 +7,8 @@
 //	espresso-load -workers 8 -duration 10s
 //	espresso-load -workers 8 -duration 10s -baseline configs/load-baseline.json
 //	espresso-load -listen 127.0.0.1:9090 -duration 5m   # scrape /metrics, profile /debug/pprof
+//	espresso-load -trace -listen 127.0.0.1:9090         # browse /debug/flight while it runs
+//	espresso-load -trace -flight-out flight.json        # dump the flight recorder at exit
 //
 // The workload is seeded (internal/gen), so two runs with the same
 // -seed/-cases select identical strategies and are directly comparable;
@@ -23,8 +25,11 @@ import (
 
 	"espresso/internal/gen"
 	"espresso/internal/load"
+	"espresso/internal/logx"
 	"espresso/internal/obs"
+	"espresso/internal/obs/flight"
 	"espresso/internal/obs/serve"
+	"espresso/internal/obs/wtrace"
 )
 
 func main() {
@@ -43,11 +48,17 @@ func main() {
 		tol       = flag.Float64("regress-tol", 0.15, "allowed throughput drop vs the baseline (fraction)")
 		writeBase = flag.String("write-baseline", "", "also write this run's result to the given baseline path")
 
-		listen     = flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
+		trace     = flag.Bool("trace", false, "wall-clock-trace every selection (request IDs, phase span trees, flight recorder)")
+		flightOut = flag.String("flight-out", "", "write the flight recorder's JSON dump to this file at exit (implies -trace)")
+
+		listen     = flag.String("listen", "", "serve /metrics, /healthz, /debug/pprof, and (with -trace) /debug/flight on this address during the run (e.g. 127.0.0.1:9090)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log := logf.Logger()
 
 	cfg := load.Config{
 		Workers:     *workers,
@@ -57,27 +68,29 @@ func main() {
 		Parallelism: *parallel,
 		Gen:         gen.Config{MaxTensors: *maxTensors, MaxMachines: *maxMachines},
 		Metrics:     obs.NewMetrics(),
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Log:         log,
+	}
+	if *trace || *flightOut != "" {
+		cfg.Tracer = wtrace.New()
+		cfg.Flight = flight.New(flight.Config{Metrics: cfg.Metrics})
 	}
 
 	if *listen != "" {
-		srv, err := serve.Start(*listen, cfg.Metrics)
+		srv, err := serve.Start(*listen, cfg.Metrics, serve.WithFlight(cfg.Flight))
 		if err != nil {
-			fatal(err)
+			logx.Fatal(log, "listen failed", "err", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "observability endpoint at %s (/metrics, /healthz, /debug/pprof)\n", srv.URL)
+		log.Info("observability endpoint up", "url", srv.URL, "flight", cfg.Flight != nil)
 	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			logx.Fatal(log, "cpuprofile create failed", "err", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			logx.Fatal(log, "cpuprofile start failed", "err", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -88,30 +101,37 @@ func main() {
 	res, err := load.Run(cfg)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile() // idempotent with the deferred stop
-		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuProfile)
+		log.Info("wrote CPU profile", "path", *cpuProfile)
+	}
+	if *flightOut != "" && cfg.Flight != nil {
+		if werr := writeFlight(*flightOut, cfg.Flight); werr != nil {
+			logx.Fatal(log, "flight dump failed", "path", *flightOut, "err", werr)
+		}
+		log.Info("wrote flight recorder dump", "path", *flightOut,
+			"records", cfg.Flight.Total(), "anomalies", cfg.Flight.AnomalyCount())
 	}
 	if err != nil {
-		fatal(err)
+		logx.Fatal(log, "load run failed", "err", err)
 	}
 	if *memProfile != "" {
 		runtime.GC()
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fatal(err)
+			logx.Fatal(log, "memprofile create failed", "err", err)
 		}
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Close()
-			fatal(err)
+			logx.Fatal(log, "memprofile write failed", "err", err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			logx.Fatal(log, "memprofile close failed", "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memProfile)
+		log.Info("wrote heap profile", "path", *memProfile)
 	}
 
 	fmt.Printf("%d selections in %.1fs: %.1f selections/s\n", res.Selections, res.ElapsedS, res.SelectionsPerSec)
-	fmt.Printf("latency p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  mean %.0fµs  max %.0fµs\n",
-		res.Latency.P50Us, res.Latency.P95Us, res.Latency.P99Us, res.Latency.MeanUs, res.Latency.MaxUs)
+	fmt.Printf("latency p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  p99.9 %.0fµs  mean %.0fµs  max %.0fµs\n",
+		res.Latency.P50Us, res.Latency.P95Us, res.Latency.P99Us, res.Latency.P999Us, res.Latency.MeanUs, res.Latency.MaxUs)
 	fmt.Printf("allocations: %.0f B/op, %.0f allocs/op; %d F(S) evaluations total\n",
 		res.AllocBytesPerOp, res.AllocsPerOp, res.Evals)
 
@@ -120,12 +140,12 @@ func main() {
 		path = "BENCH_load_" + time.Now().UTC().Format("2006-01-02") + ".json"
 	}
 	if err := writeResult(path, res); err != nil {
-		fatal(err)
+		logx.Fatal(log, "result write failed", "path", path, "err", err)
 	}
 	fmt.Printf("wrote %s\n", path)
 	if *writeBase != "" {
 		if err := writeResult(*writeBase, res); err != nil {
-			fatal(err)
+			logx.Fatal(log, "baseline write failed", "path", *writeBase, "err", err)
 		}
 		fmt.Printf("wrote baseline %s\n", *writeBase)
 	}
@@ -133,14 +153,14 @@ func main() {
 	if *baseline != "" {
 		base, err := load.ReadResult(*baseline)
 		if err != nil {
-			fatal(err)
+			logx.Fatal(log, "baseline read failed", "path", *baseline, "err", err)
 		}
 		note, err := load.Compare(res, base, *tol)
 		if note != "" {
-			fmt.Fprintln(os.Stderr, note)
+			log.Warn(note)
 		}
 		if err != nil {
-			fatal(err)
+			logx.Fatal(log, "baseline gate failed", "err", err)
 		}
 		fmt.Printf("baseline gate passed: %.1f selections/s vs baseline %.1f (tol %.0f%%)\n",
 			res.SelectionsPerSec, base.SelectionsPerSec, 100**tol)
@@ -159,7 +179,14 @@ func writeResult(path string, res *load.Result) error {
 	return f.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "espresso-load:", err)
-	os.Exit(1)
+func writeFlight(path string, fr *flight.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

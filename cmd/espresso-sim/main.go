@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"espresso/internal/core"
 	"espresso/internal/cost"
 	"espresso/internal/ddl"
+	"espresso/internal/logx"
 	"espresso/internal/model"
 	"espresso/internal/netsim"
 	"espresso/internal/obs"
@@ -50,6 +52,10 @@ type jobConfig struct {
 	} `json:"algorithm"`
 }
 
+// log carries the CLI's structured stderr diagnostics; built in main
+// from the shared -log-level/-log-json flags.
+var log *slog.Logger
+
 func main() {
 	var (
 		modelF     = flag.String("model", "lstm", "model preset")
@@ -72,7 +78,10 @@ func main() {
 		chaosOut   = flag.String("chaos-report", "", "write the chaos run report JSON (requires -chaos)")
 		listen     = flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log = logf.Logger()
 
 	if *jobF != "" {
 		data, err := os.ReadFile(*jobF)
@@ -146,7 +155,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "observability endpoint at %s (/metrics, /healthz, /debug/pprof)\n", srv.URL)
+		log.Info("observability endpoint up", "url", srv.URL)
 	}
 
 	// Pick the strategy.
@@ -357,6 +366,5 @@ func writeFile(path string, write func(w io.Writer) error) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "espresso-sim:", err)
-	os.Exit(1)
+	logx.Fatal(log, err.Error())
 }

@@ -11,14 +11,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
 	"espresso/internal/compress"
+	"espresso/internal/logx"
 	"espresso/internal/model"
 	"espresso/internal/obs"
 	"espresso/internal/trace"
 )
+
+// log carries the CLI's structured stderr diagnostics; built in main
+// from the shared -log-level/-log-json flags.
+var log *slog.Logger
 
 func main() {
 	var (
@@ -31,7 +37,10 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the averaged backward pass as Chrome trace-event JSON")
 		metrOut  = flag.String("metrics-out", "", "write profiling metrics as JSON")
 	)
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log = logf.Logger()
 
 	m, err := model.ByName(*modelF)
 	if err != nil {
@@ -128,6 +137,5 @@ func writeFile(path string, write func(w io.Writer) error) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "espresso-trace:", err)
-	os.Exit(1)
+	logx.Fatal(log, err.Error())
 }

@@ -15,13 +15,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
+	"espresso/internal/logx"
 	"espresso/internal/obs"
 	"espresso/internal/obs/serve"
 	"espresso/internal/oracle/diff"
 )
+
+// log carries the CLI's structured stderr diagnostics; built in main
+// from the shared -log-level/-log-json flags.
+var log *slog.Logger
 
 func main() {
 	var (
@@ -34,16 +40,19 @@ func main() {
 		failFast = flag.Bool("fail-fast", false, "stop after the first failing case")
 		listen   = flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log = logf.Logger()
 
 	if *listen != "" {
 		srv, err := serve.Start(*listen, obs.NewMetrics())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espresso-verify: %v\n", err)
+			log.Error("listen failed", "err", err)
 			os.Exit(2)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "observability endpoint at %s (/metrics, /healthz, /debug/pprof)\n", srv.URL)
+		log.Info("observability endpoint up", "url", srv.URL)
 	}
 
 	cfg := diff.Config{
@@ -55,7 +64,7 @@ func main() {
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			log.Info(fmt.Sprintf(format, args...))
 		}
 	}
 
@@ -67,7 +76,7 @@ func main() {
 		var err error
 		sum, err = diff.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espresso-verify: %v\n", err)
+			log.Error("differential run failed", "err", err)
 			os.Exit(2)
 		}
 	}
@@ -93,7 +102,7 @@ func runFailFast(cfg diff.Config) *diff.Summary {
 		one.Seed = cfg.Seed + uint64(i)
 		sum, err := diff.Run(one)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espresso-verify: %v\n", err)
+			log.Error("differential run failed", "seed", one.Seed, "err", err)
 			os.Exit(2)
 		}
 		total.Cases++

@@ -14,10 +14,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"espresso"
+	"espresso/internal/logx"
 )
+
+// log carries the CLI's structured stderr diagnostics; built in main
+// from the shared -log-level/-log-json flags.
+var log *slog.Logger
 
 func main() {
 	var (
@@ -34,7 +40,10 @@ func main() {
 		export   = flag.String("export", "", "write the selected strategy to this file")
 		apply    = flag.String("apply", "", "evaluate a previously exported strategy instead of selecting")
 	)
+	var logf logx.Flags
+	logf.Register(nil)
 	flag.Parse()
+	log = logf.Logger()
 
 	var job espresso.Job
 	if *jobFile != "" {
@@ -138,6 +147,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "espresso:", err)
-	os.Exit(1)
+	logx.Fatal(log, err.Error())
 }

@@ -2,7 +2,8 @@ package espresso_test
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"espresso"
 )
@@ -16,14 +17,16 @@ func ExampleSelect() {
 	}
 	strategy, report, err := espresso.Select(job)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	fmt.Printf("tensors: %d\n", len(strategy.Decisions))
 	fmt.Printf("compressed: %d\n", report.CompressedTensors)
 	fmt.Printf("beats fp32: %v\n", func() bool {
 		_, fp32, err := espresso.Baseline(espresso.FP32, job)
 		if err != nil {
-			log.Fatal(err)
+			slog.Error(err.Error())
+			os.Exit(1)
 		}
 		return report.Throughput > fp32.Throughput
 	}())
@@ -42,11 +45,13 @@ func ExampleBaseline() {
 	}
 	_, hipress, err := espresso.Baseline(espresso.HiPress, job)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	ub, err := espresso.UpperBound(job)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	fmt.Printf("hipress below upper bound: %v\n", hipress.Throughput < ub.Throughput)
 	// Output:
@@ -71,7 +76,8 @@ func ExampleModelSpec_custom() {
 	}
 	s, _, err := espresso.Select(job)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	fmt.Println(len(s.Decisions), "decisions")
 	// Output:

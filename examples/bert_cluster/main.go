@@ -6,7 +6,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"espresso"
 )
@@ -32,7 +33,8 @@ func main() {
 			}
 			th, err := f(job)
 			if err != nil {
-				log.Fatal(err)
+				slog.Error(err.Error())
+				os.Exit(1)
 			}
 			fmt.Printf("%15.0f", th)
 		}

@@ -7,7 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"espresso/internal/cluster"
 	"espresso/internal/compress"
@@ -47,7 +48,8 @@ func main() {
 			LR: 0.5, Batch: 16, Iters: 150, Seed: 7,
 		})
 		if err != nil {
-			log.Fatal(err)
+			slog.Error(err.Error())
+			os.Exit(1)
 		}
 		final := hist.Final()
 		fmt.Printf("%-14s %10.4f %9.1f%%\n", r.name, final.Loss, 100*final.Accuracy)

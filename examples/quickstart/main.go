@@ -5,7 +5,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"espresso"
 )
@@ -19,7 +20,8 @@ func main() {
 
 	strategy, report, err := espresso.Select(job)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	fmt.Printf("selected in %v: %d of %d tensors compressed (%d on CPUs)\n",
 		report.SelectionTime, report.CompressedTensors, len(strategy.Decisions), report.OffloadedTensors)
@@ -28,7 +30,8 @@ func main() {
 
 	_, fp32, err := espresso.Baseline(espresso.FP32, job)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	fmt.Printf("speedup over FP32: %.2fx\n", report.Throughput/fp32.Throughput)
 

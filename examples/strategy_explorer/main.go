@@ -7,7 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"sort"
 	"strings"
 
@@ -22,7 +23,8 @@ func explore(preset string) {
 	}
 	strat, rep, err := espresso.Select(job)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	fmt.Printf("== %s: %d tensors, %d compressed (%d on CPUs), iteration %v ==\n",
 		preset, len(strat.Decisions), rep.CompressedTensors, rep.OffloadedTensors, rep.IterTime)
@@ -55,11 +57,13 @@ func main() {
 	}
 	strat, _, err := espresso.Select(job)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	gantt, err := espresso.Gantt(job, strat)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error(err.Error())
+		os.Exit(1)
 	}
 	lines := strings.SplitN(gantt, "\n", 25)
 	fmt.Println("timeline head:")

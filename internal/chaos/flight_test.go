@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"espresso/internal/cluster"
+	"espresso/internal/obs/flight"
+	"espresso/internal/obs/wtrace"
+)
+
+// TestReselectRecordsFlightAnomaly pins the chaos/flight wiring: a
+// degradation-triggered re-selection with a tracer and recorder attached
+// must land in the recorder as an unconditional anomaly carrying a
+// "reselect" span tree, retrievable by its request ID.
+func TestReselectRecordsFlightAnomaly(t *testing.T) {
+	m := commBound()
+	c := cluster.NVLinkTestbed(4)
+	prior := healthySelect(t, m, c)
+
+	tr := wtrace.New()
+	fr := flight.New(flight.Config{})
+	_, rs, err := Reselect(m, c, dgc(), prior, ReselectOptions{
+		InterScale: 0.05,
+		Tracer:     tr,
+		Flight:     fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SelectionTime <= 0 {
+		t.Fatalf("reselection reports no selection time: %+v", rs)
+	}
+
+	if fr.Total() != 1 || fr.AnomalyCount() != 1 {
+		t.Fatalf("recorder holds %d records, %d anomalies; want 1/1", fr.Total(), fr.AnomalyCount())
+	}
+	anoms := fr.Anomalies()
+	if len(anoms) != 1 {
+		t.Fatalf("got %d anomaly records", len(anoms))
+	}
+	rec := anoms[0]
+	if rec.Outcome != flight.OutcomeReselect || rec.AnomalyReason != "reselect" {
+		t.Fatalf("record classified %s/%q", rec.Outcome, rec.AnomalyReason)
+	}
+	if rec.Name != "reselect" {
+		t.Fatalf("record name = %q", rec.Name)
+	}
+	if !strings.Contains(rec.Fingerprint, "inter=0.05") {
+		t.Fatalf("fingerprint %q does not carry the degradation", rec.Fingerprint)
+	}
+	if len(rec.Spans) == 0 || len(rec.Phases) == 0 {
+		t.Fatalf("record has %d spans, %d phases; want a traced tree", len(rec.Spans), len(rec.Phases))
+	}
+	if rec.Evals <= 0 {
+		t.Fatalf("record attributes no evaluations: %+v", rec)
+	}
+	if _, ok := fr.Get(rec.ID); !ok {
+		t.Fatalf("record %s not retrievable by ID", rec.ID)
+	}
+}
+
+// TestReselectWithoutRecorderUnchanged pins that the nil Tracer/Flight
+// path stays exactly the pre-observability behavior.
+func TestReselectWithoutRecorderUnchanged(t *testing.T) {
+	m := commBound()
+	c := cluster.NVLinkTestbed(4)
+	prior := healthySelect(t, m, c)
+
+	s1, rs1, err := Reselect(m, c, dgc(), prior, ReselectOptions{InterScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := wtrace.New()
+	fr := flight.New(flight.Config{})
+	s2, rs2, err := Reselect(m, c, dgc(), prior, ReselectOptions{
+		InterScale: 0.05, Tracer: tr, Flight: fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs1.After != rs2.After {
+		t.Fatalf("tracing changed the re-selected time: %v vs %v", rs1.After, rs2.After)
+	}
+	for i := range s1.PerTensor {
+		if s1.PerTensor[i].Key() != s2.PerTensor[i].Key() {
+			t.Fatalf("tracing changed re-selected tensor %d", i)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"espresso/internal/core"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/obs/flight"
+	"espresso/internal/obs/wtrace"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -28,6 +30,13 @@ type ReselectOptions struct {
 	// ProbeDeadline bounds its wall-clock cost.
 	Explain       bool
 	ProbeDeadline time.Duration
+
+	// Tracer, when non-nil, wall-clock-traces the re-selection's search
+	// phases as a "reselect" request; Flight, when non-nil, captures the
+	// completed re-selection as an unconditional anomaly record — a
+	// Monitor trip is by definition an event worth keeping.
+	Tracer *wtrace.Tracer
+	Flight *flight.Recorder
 }
 
 // Shape classifies a strategy's tensors by communication pattern — the
@@ -150,7 +159,28 @@ func Reselect(m *model.Model, c *cluster.Cluster, spec compress.Spec, prior *str
 	sel.Explain = opt.Explain
 	sel.ProbeDeadline = opt.ProbeDeadline
 	sel.SetComputeScale(gpuS)
+	req := opt.Tracer.Start("reselect")
+	sel.Trace = req
 	after, rep, err := sel.SelectFrom(prior)
+	if req != nil || opt.Flight != nil {
+		fp := fmt.Sprintf("reselect inter=%.3g gpu=%.3g cpu=%.3g model=%s",
+			opt.InterScale, gpuS, cpuS, m.Name)
+		var evals int64
+		var selTime time.Duration
+		if rep != nil {
+			evals = int64(rep.Evals)
+			selTime = rep.SelectionTime
+		} else if req != nil {
+			selTime = req.Elapsed()
+		}
+		outcome := flight.OutcomeReselect
+		if err != nil {
+			outcome = flight.OutcomeError
+		}
+		opt.Flight.Complete(req, fp, evals, selTime, outcome, err)
+		req.Release()
+		sel.Trace = nil
+	}
 	if err != nil {
 		return nil, nil, err
 	}

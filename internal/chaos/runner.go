@@ -11,6 +11,8 @@ import (
 	"espresso/internal/model"
 	"espresso/internal/netsim"
 	"espresso/internal/obs"
+	"espresso/internal/obs/flight"
+	"espresso/internal/obs/wtrace"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -57,6 +59,10 @@ type Runner struct {
 	Trace obs.Recorder
 	// Metrics optionally receives netsim counters on Observe.
 	Metrics *obs.Metrics
+	// Tracer wall-clock-traces re-selections; Flight captures each one as
+	// an unconditional anomaly record (see ReselectOptions).
+	Tracer *wtrace.Tracer
+	Flight *flight.Recorder
 
 	nw      *netsim.Network
 	cm      *cost.Models
@@ -302,6 +308,7 @@ func (r *Runner) reselect(it int, gpuS, cpuS float64) error {
 		InterScale: scale, GPUScale: gpuS, CPUScale: cpuS,
 		Parallelism: r.Parallelism, Explain: r.Explain,
 		ProbeDeadline: r.ProbeDeadline,
+		Tracer:        r.Tracer, Flight: r.Flight,
 	})
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"espresso/internal/cost"
 	"espresso/internal/model"
 	"espresso/internal/obs"
+	"espresso/internal/obs/wtrace"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -104,6 +105,15 @@ type Selector struct {
 	// set.
 	ProbeDeadline time.Duration
 
+	// Trace, when non-nil, receives request-scoped wall-clock spans for
+	// every pipeline phase of the next Select/SelectFrom call: seed
+	// evaluation, each greedy sweep pass with per-tensor probe
+	// aggregates, the offload search, the compressed-candidates
+	// trajectory, and the finalize/explain pass, with per-worker span
+	// windows when Parallelism > 1. A nil Trace (the default) costs one
+	// nil check per phase — the probe inner loop stays allocation-free.
+	Trace *wtrace.Req
+
 	eng        *timeline.Engine
 	pool       []*timeline.Engine // lazily grown worker engines; pool[0] == eng
 	candidates []strategy.Option
@@ -130,6 +140,10 @@ type Selector struct {
 	// allocates nothing in steady state.
 	bubbleRes     timeline.Result
 	bubbleScratch []int
+
+	// wwin is the reusable per-worker window scratch of eachTraced, so
+	// traced parallel fan-outs allocate nothing per probe position.
+	wwin []workerWindow
 }
 
 // NewSelector builds a selector with the full GPU candidate set C_gpu.
@@ -216,31 +230,47 @@ func (sel *Selector) SelectFrom(prior *strategy.Strategy) (*strategy.Strategy, *
 func (sel *Selector) selectFrom(prior *strategy.Strategy) (*strategy.Strategy, *Report, error) {
 	start := time.Now()
 	rep := &Report{Candidates: len(sel.candidates)}
+	tr := sel.Trace
 
-	seed, err := sel.bestSeed(rep)
+	// The top-level spans below ("seed", "sweep", "offload", "alt",
+	// "finalize") are contiguous: each begins where the previous ended,
+	// so their durations tile the request and sum to the end-to-end
+	// selection latency up to span bookkeeping — the property the
+	// flight recorder's per-phase breakdown relies on.
+	spSeed := tr.Begin(wtrace.NoParent, "seed")
+	seedEvals := rep.Evals
+	seed, err := sel.bestSeed(rep, spSeed)
 	if err != nil {
 		return nil, nil, err
 	}
 	if prior != nil {
 		// Prior goes first: bestOf breaks ties by lowest index, so the
 		// incumbent wins unless a seed is strictly better.
-		if seed, _, err = sel.bestOf([]*strategy.Strategy{prior.Clone(), seed}, rep); err != nil {
+		if seed, _, err = sel.bestOf([]*strategy.Strategy{prior.Clone(), seed}, rep, spSeed); err != nil {
 			return nil, nil, err
 		}
 	}
-	s, err := sel.sweepFrom(seed, rep)
+	tr.EndEvals(spSeed, int64(rep.Evals-seedEvals))
+
+	spSweep := tr.Begin(wtrace.NoParent, "sweep")
+	sweepEvals := rep.Evals
+	s, err := sel.sweepFrom(seed, rep, spSweep)
 	if err != nil {
 		return nil, nil, err
 	}
+	tr.EndEvals(spSweep, int64(rep.Evals-sweepEvals))
 	rep.Alg1Time = time.Since(start)
 
 	offStart := time.Now()
+	spOff := tr.Begin(wtrace.NoParent, "offload")
+	offEvals := rep.Evals
 	if sel.allowsCPU() {
-		s, err = sel.OffloadCPU(s, rep)
+		s, err = sel.offloadCPU(s, rep, spOff)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
+	tr.EndEvals(spOff, int64(rep.Evals-offEvals))
 	rep.OffloadTime = time.Since(offStart)
 
 	// The greedy sweep is monotone but path-dependent: seeded
@@ -253,9 +283,11 @@ func (sel *Selector) selectFrom(prior *strategy.Strategy) (*strategy.Strategy, *
 	// evaluation count; Offloaded is recomputed from the winner below.
 	// rep.Ruled and the explain pass's ruled markings describe the
 	// primary trajectory, so its bubble set is restored afterwards.
+	spAlt := tr.Begin(wtrace.NoParent, "alt")
+	altEvals := rep.Evals
 	primaryRemoved := sel.lastRemoved
 	altRep := &Report{}
-	alt, err := sel.compressedSearch(altRep)
+	alt, err := sel.compressedSearch(altRep, spAlt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -274,6 +306,10 @@ func (sel *Selector) selectFrom(prior *strategy.Strategy) (*strategy.Strategy, *
 			s = alt
 		}
 	}
+	tr.EndEvals(spAlt, int64(rep.Evals-altEvals))
+
+	spFin := tr.Begin(wtrace.NoParent, "finalize")
+	finEvals := rep.Evals
 	rep.Offloaded = 0
 	for _, o := range s.PerTensor {
 		if o.AllOn(cost.CPU) {
@@ -287,9 +323,10 @@ func (sel *Selector) selectFrom(prior *strategy.Strategy) (*strategy.Strategy, *
 		return nil, nil, err
 	}
 	rep.Iter = iter
-	if err := sel.explainDecisions(s, rep); err != nil {
+	if err := sel.explainDecisions(s, rep, spFin); err != nil {
 		return nil, nil, err
 	}
+	tr.EndEvals(spFin, int64(rep.Evals-finEvals))
 	// SelectionTime is stamped last so the wall clock covers every
 	// evaluation counted in rep.Evals — including this final one — and
 	// Alg1Time + OffloadTime <= SelectionTime always holds.
@@ -472,11 +509,11 @@ func (sel *Selector) Algorithm1(rep *Report) (*strategy.Strategy, error) {
 	if rep == nil {
 		rep = &Report{}
 	}
-	seed, err := sel.bestSeed(rep)
+	seed, err := sel.bestSeed(rep, wtrace.NoParent)
 	if err != nil {
 		return nil, err
 	}
-	return sel.sweepFrom(seed, rep)
+	return sel.sweepFrom(seed, rep, wtrace.NoParent)
 }
 
 // bestSeed evaluates the candidate starting strategies and returns the
@@ -486,7 +523,7 @@ func (sel *Selector) Algorithm1(rep *Report) (*strategy.Strategy, error) {
 // saving exceeds the wall-clock cost) — HiPress, HiTopKComm, and
 // BytePS-Compress are all members, so the monotone sweep's result
 // dominates them by construction.
-func (sel *Selector) bestSeed(rep *Report) (*strategy.Strategy, error) {
+func (sel *Selector) bestSeed(rep *Report, parent int) (*strategy.Strategy, error) {
 	n := len(sel.M.Tensors)
 	plain := strategy.NoCompression(sel.C)
 	plainComm := make([]time.Duration, n)
@@ -531,7 +568,7 @@ func (sel *Selector) bestSeed(rep *Report) (*strategy.Strategy, error) {
 	}
 	seeds = append(seeds, myopic)
 
-	best, _, err := sel.bestOf(seeds, rep)
+	best, _, err := sel.bestOf(seeds, rep, parent)
 	return best, err
 }
 
@@ -542,7 +579,7 @@ func (sel *Selector) bestSeed(rep *Report) (*strategy.Strategy, error) {
 // SelectAllCompressed and Select's second trajectory run exactly this
 // search, which is what makes Select structurally never worse than the
 // "All compression" cripple.
-func (sel *Selector) compressedSearch(rep *Report) (*strategy.Strategy, error) {
+func (sel *Selector) compressedSearch(rep *Report, parent int) (*strategy.Strategy, error) {
 	var compressed []strategy.Option
 	for _, o := range sel.candidates {
 		if o.Compressed() {
@@ -563,16 +600,16 @@ func (sel *Selector) compressedSearch(rep *Report) (*strategy.Strategy, error) {
 			seeds = append(seeds, strategy.Uniform(n, o.WithDevice(dev)))
 		}
 	}
-	seed, _, err := sel.bestOf(seeds, rep)
+	seed, _, err := sel.bestOf(seeds, rep, parent)
 	if err != nil {
 		return nil, err
 	}
-	s, err := sel.sweepFrom(seed, rep)
+	s, err := sel.sweepFrom(seed, rep, parent)
 	if err != nil {
 		return nil, err
 	}
 	if sel.allowsCPU() {
-		if s, err = sel.OffloadCPU(s, rep); err != nil {
+		if s, err = sel.offloadCPU(s, rep, parent); err != nil {
 			return nil, err
 		}
 	}
@@ -584,7 +621,7 @@ func (sel *Selector) compressedSearch(rep *Report) (*strategy.Strategy, error) {
 // (option choice, device choice, offloading) runs as usual.
 func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) {
 	rep := &Report{}
-	s, err := sel.compressedSearch(rep)
+	s, err := sel.compressedSearch(rep, wtrace.NoParent)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -597,7 +634,7 @@ func (sel *Selector) SelectAllCompressed() (*strategy.Strategy, *Report, error) 
 		return nil, nil, err
 	}
 	rep.Iter = iter
-	if err := sel.explainDecisions(s, rep); err != nil {
+	if err := sel.explainDecisions(s, rep, wtrace.NoParent); err != nil {
 		return nil, nil, err
 	}
 	sel.publish(rep)
@@ -646,7 +683,8 @@ func (sel *Selector) MyopicStrategy() (*strategy.Strategy, error) {
 // the lowest-index candidate achieving the minimal F(S) — exactly the
 // candidate the sequential first-strict-improvement scan keeps, so the
 // result is bit-identical to the sequential sweep.
-func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Strategy, error) {
+func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report, parent int) (*strategy.Strategy, error) {
+	tr := sel.Trace
 	removed := make([]bool, len(sel.M.Tensors))
 	if err := sel.removeBeforeBubbles(s, removed, rep); err != nil {
 		return nil, err
@@ -676,6 +714,8 @@ func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Str
 	order := sel.order()
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		changed := false
+		spPass := tr.Begin(parent, "pass")
+		passEvals := rep.Evals
 		for _, idx := range order {
 			if removed[idx] {
 				continue
@@ -695,10 +735,20 @@ func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Str
 				iters = make([]time.Duration, len(probes))
 			}
 			iters = iters[:len(probes)]
-			if err := sel.probePosition(engines, idx, probes, iters); err != nil {
+			// One aggregated span per tensor position covers all its
+			// candidate probes; per-probe spans would dominate the very
+			// loop they measure.
+			tsp := wtrace.NoParent
+			if tr != nil {
+				tsp = tr.BeginTensor(spPass, "probe", idx)
+			}
+			if err := sel.probePosition(engines, idx, probes, iters, tsp); err != nil {
 				return nil, err
 			}
 			rep.Evals += len(probes)
+			if tr != nil {
+				tr.EndEvals(tsp, int64(len(probes)))
+			}
 
 			bestOpt, improved := cur, false
 			for i, it := range iters {
@@ -726,6 +776,7 @@ func (sel *Selector) sweepFrom(s *strategy.Strategy, rep *Report) (*strategy.Str
 				}
 			}
 		}
+		tr.EndEvals(spPass, int64(rep.Evals-passEvals))
 		if !changed {
 			break
 		}

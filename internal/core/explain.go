@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"espresso/internal/obs/wtrace"
 	"espresso/internal/strategy"
 )
 
@@ -65,10 +66,14 @@ type TensorDecision struct {
 // runs only when sel.Explain is set; the probes fan out over the engine
 // pool like any other F(S) evaluation and are counted in rep.Evals. The
 // pool is left prepared with s.
-func (sel *Selector) explainDecisions(s *strategy.Strategy, rep *Report) error {
+func (sel *Selector) explainDecisions(s *strategy.Strategy, rep *Report, parent int) error {
 	if !sel.Explain {
 		return nil
 	}
+	tr := sel.Trace
+	spExplain := tr.Begin(parent, "explain")
+	explainEvals := rep.Evals
+	defer func() { tr.EndEvals(spExplain, int64(rep.Evals-explainEvals)) }()
 	engines := sel.engines()
 	for _, eng := range engines {
 		if err := eng.Prepare(s); err != nil {
@@ -126,10 +131,17 @@ func (sel *Selector) explainDecisions(s *strategy.Strategy, rep *Report) error {
 			iters = make([]time.Duration, len(probes))
 		}
 		iters = iters[:len(probes)]
-		if err := sel.probePosition(engines, idx, probes, iters); err != nil {
+		tsp := wtrace.NoParent
+		if tr != nil {
+			tsp = tr.BeginTensor(spExplain, "re-probe", idx)
+		}
+		if err := sel.probePosition(engines, idx, probes, iters, tsp); err != nil {
 			return err
 		}
 		rep.Evals += len(probes)
+		if tr != nil {
+			tr.EndEvals(tsp, int64(len(probes)))
+		}
 		// probePosition leaves each engine with whatever option it
 		// probed last; restore the selection everywhere.
 		for _, eng := range engines {

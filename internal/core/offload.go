@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"espresso/internal/cost"
+	"espresso/internal/obs/wtrace"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
 )
@@ -57,6 +58,13 @@ func (sel *Selector) offloadGroups(s *strategy.Strategy) [][]int {
 // from an all-GPU baseline per Lemma 1, and the result is kept only when
 // it beats the input.
 func (sel *Selector) OffloadCPU(s *strategy.Strategy, rep *Report) (*strategy.Strategy, error) {
+	return sel.offloadCPU(s, rep, wtrace.NoParent)
+}
+
+// offloadCPU is OffloadCPU with the enclosing trace span: the chosen
+// search (exact or greedy) records a child span carrying its evaluation
+// count, so a slow offload phase attributes directly to its odometer.
+func (sel *Selector) offloadCPU(s *strategy.Strategy, rep *Report, parent int) (*strategy.Strategy, error) {
 	if rep == nil {
 		rep = &Report{}
 	}
@@ -85,11 +93,18 @@ func (sel *Selector) OffloadCPU(s *strategy.Strategy, rep *Report) (*strategy.St
 		space *= len(g) + 1
 	}
 	rep.OffloadSearch = space
+	tr := sel.Trace
 	var searched *strategy.Strategy
 	if space > MaxOffloadSearch {
+		sp := tr.Begin(parent, "offload-greedy")
+		evals := rep.Evals
 		searched, err = sel.greedyOffload(s, groups, rep)
+		tr.EndEvals(sp, int64(rep.Evals-evals))
 	} else {
+		sp := tr.Begin(parent, "offload-exact")
+		evals := rep.Evals
 		searched, err = sel.exactOffload(s, groups, rep)
+		tr.EndEvals(sp, int64(rep.Evals-evals))
 	}
 	if err != nil {
 		return nil, err

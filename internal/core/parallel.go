@@ -7,6 +7,7 @@ import (
 	"espresso/internal/cluster"
 	"espresso/internal/cost"
 	"espresso/internal/model"
+	"espresso/internal/obs/wtrace"
 	"espresso/internal/par"
 	"espresso/internal/strategy"
 	"espresso/internal/timeline"
@@ -46,15 +47,61 @@ func (sel *Selector) engines() []*timeline.Engine {
 	return pool
 }
 
+// workerWindow accumulates one fan-out worker's wall-clock window: its
+// first task's start, its last task's end, and how many tasks it ran.
+// Each worker writes only its own window, so the fan-out needs no extra
+// synchronization beyond par.Each's join.
+type workerWindow struct {
+	start, end time.Duration
+	tasks      int64
+	used       bool
+}
+
+// eachTraced is par.Each with per-worker span propagation: when the
+// selector is tracing and the fan-out actually runs parallel, each
+// worker's window (first start to last end, with its task count as the
+// eval attribution) is recorded as a child span of parent. Untraced or
+// sequential fan-outs delegate straight to par.Each at zero cost.
+func (sel *Selector) eachTraced(parent int, name string, n int, engines int, task func(worker, i int) error) error {
+	tr := sel.Trace
+	if tr == nil || engines <= 1 || n <= 1 {
+		return par.Each(n, engines, task)
+	}
+	if cap(sel.wwin) < engines {
+		sel.wwin = make([]workerWindow, engines)
+	}
+	win := sel.wwin[:engines]
+	for i := range win {
+		win[i] = workerWindow{}
+	}
+	err := par.Each(n, engines, func(worker, i int) error {
+		w := &win[worker]
+		if !w.used {
+			w.used = true
+			w.start = tr.Now()
+		}
+		taskErr := task(worker, i)
+		w.end = tr.Now()
+		w.tasks++
+		return taskErr
+	})
+	for k := range win {
+		if win[k].used {
+			tr.Add(parent, name, k, win[k].start, win[k].end, win[k].tasks)
+		}
+	}
+	return err
+}
+
 // bestOf evaluates candidate strategies across the worker pool and
 // returns the lowest-index one achieving the minimal F(S).
-func (sel *Selector) bestOf(seeds []*strategy.Strategy, rep *Report) (*strategy.Strategy, time.Duration, error) {
+func (sel *Selector) bestOf(seeds []*strategy.Strategy, rep *Report, parent int) (*strategy.Strategy, time.Duration, error) {
 	if len(seeds) == 0 {
 		return nil, 0, fmt.Errorf("core: no candidate strategies to evaluate")
 	}
 	engines := sel.engines()
 	iters := make([]time.Duration, len(seeds))
-	if err := par.Each(len(seeds), len(engines), func(worker, i int) error {
+	if err := sel.eachTraced(parent, "seed-worker", len(seeds), len(engines), func(worker, i int) error {
 		eng := engines[worker]
 		if err := eng.Prepare(seeds[i]); err != nil {
 			return err
@@ -85,8 +132,8 @@ func (sel *Selector) bestOf(seeds []*strategy.Strategy, rep *Report) (*strategy.
 // returns the per-candidate iteration times. The engines are left with
 // arbitrary options at idx; the caller must re-apply its decision to
 // every pool engine afterwards.
-func (sel *Selector) probePosition(engines []*timeline.Engine, idx int, probes []strategy.Option, iters []time.Duration) error {
-	return par.Each(len(probes), len(engines), func(worker, i int) error {
+func (sel *Selector) probePosition(engines []*timeline.Engine, idx int, probes []strategy.Option, iters []time.Duration, parent int) error {
+	return sel.eachTraced(parent, "probe-worker", len(probes), len(engines), func(worker, i int) error {
 		eng := engines[worker]
 		if err := eng.SetOption(idx, probes[i]); err != nil {
 			return err
@@ -110,6 +157,14 @@ const maxBruteForceStrategies = 1_000_000
 // strategies, the one with the lowest odometer index wins, the same
 // strategy the sequential first-strict-improvement scan keeps.
 func BruteForceParallel(m *model.Model, c *cluster.Cluster, cm *cost.Models, options []strategy.Option, parallelism int) (*strategy.Strategy, time.Duration, error) {
+	return BruteForceTraced(m, c, cm, options, parallelism, nil)
+}
+
+// BruteForceTraced is BruteForceParallel with wall-clock shard tracing:
+// when req is non-nil, each odometer shard records a top-level span with
+// its worker index and evaluation count, so a slow validation run shows
+// exactly which shard dominated.
+func BruteForceTraced(m *model.Model, c *cluster.Cluster, cm *cost.Models, options []strategy.Option, parallelism int, req *wtrace.Req) (*strategy.Strategy, time.Duration, error) {
 	n := len(m.Tensors)
 	if len(options) == 0 {
 		return nil, 0, fmt.Errorf("core: brute force needs at least one option")
@@ -144,6 +199,10 @@ func BruteForceParallel(m *model.Model, c *cluster.Cluster, cm *cost.Models, opt
 		if lo >= hi {
 			return nil
 		}
+		shardStart := req.Now()
+		defer func() {
+			req.Add(wtrace.NoParent, "brute-shard", si, shardStart, req.Now(), int64(hi-lo))
+		}()
 		eng := timeline.New(m, c, cm)
 		eng.RecordOps = false
 		// Decode the shard's first odometer state: digit j of lo in base

@@ -1,0 +1,80 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"espresso/internal/obs/flight"
+	"espresso/internal/obs/wtrace"
+)
+
+// TestTracedRunFeedsFlightRecorder runs the harness with a tracer and
+// recorder attached and checks every completed selection landed as a
+// flight record whose phase breakdown tiles its latency — the property
+// /debug/flight drill-downs depend on.
+func TestTracedRunFeedsFlightRecorder(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Tracer = wtrace.New()
+	cfg.Flight = flight.New(flight.Config{Capacity: 16})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selections <= 0 {
+		t.Fatalf("no selections completed: %+v", res)
+	}
+	if got := cfg.Flight.Total(); got != res.Selections {
+		t.Fatalf("recorder observed %d records, harness reports %d selections", got, res.Selections)
+	}
+
+	recs := cfg.Flight.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records retained")
+	}
+	for _, rec := range recs {
+		if rec.ID == "" || rec.Name != "select" {
+			t.Fatalf("record = %+v", rec)
+		}
+		if rec.Fingerprint == "" {
+			t.Fatalf("record %s has no workload fingerprint", rec.ID)
+		}
+		if len(rec.Spans) == 0 || len(rec.Phases) == 0 {
+			t.Fatalf("record %s untraced: %d spans, %d phases", rec.ID, len(rec.Spans), len(rec.Phases))
+		}
+		if rec.Phases["setup"] <= 0 {
+			t.Fatalf("record %s lacks the setup phase: %v", rec.ID, rec.Phases)
+		}
+		var sum time.Duration
+		for _, d := range rec.Phases {
+			sum += d
+		}
+		if sum > rec.Latency {
+			t.Fatalf("record %s: phases %v exceed latency %v", rec.ID, sum, rec.Latency)
+		}
+		if float64(sum) < 0.9*float64(rec.Latency) {
+			t.Fatalf("record %s: phases cover %v of %v (<90%%)", rec.ID, sum, rec.Latency)
+		}
+	}
+
+	// P99.9 joins the quantile ladder.
+	q := res.Latency
+	if q.P999Us < q.P99Us || q.P999Us > q.MaxUs {
+		t.Fatalf("p99.9 out of order: %+v", q)
+	}
+}
+
+// TestUntracedRunLeavesRecorderNil pins that the default configuration
+// pays nothing: no tracer, no flight records, same result shape.
+func TestUntracedRunLeavesRecorderNil(t *testing.T) {
+	cfg := smallCfg()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selections <= 0 {
+		t.Fatalf("no selections: %+v", res)
+	}
+	if cfg.Flight.Total() != 0 {
+		t.Fatal("nil recorder observed records")
+	}
+}

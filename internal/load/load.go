@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
@@ -25,6 +26,8 @@ import (
 	"espresso/internal/cost"
 	"espresso/internal/gen"
 	"espresso/internal/obs"
+	"espresso/internal/obs/flight"
+	"espresso/internal/obs/wtrace"
 	"espresso/internal/runmeta"
 )
 
@@ -55,8 +58,17 @@ type Config struct {
 	// histogram and counters) so a -listen endpoint can expose the run
 	// while it executes. Nil runs with a private registry.
 	Metrics *obs.Metrics
-	// Logf, when set, receives progress lines.
-	Logf func(format string, args ...any)
+	// Tracer, when set, wall-clock-traces every selection: each request
+	// gets an ID and a phase span tree. Nil runs untraced — the selector's
+	// probe loop then stays allocation-free.
+	Tracer *wtrace.Tracer
+	// Flight, when set, receives one record per completed selection
+	// (request ID, fingerprint, span tree, latency, outcome), so the run's
+	// slow outliers are retrievable from /debug/flight afterwards.
+	Flight *flight.Recorder
+	// Log, when set, receives progress lines and per-request debug
+	// records (request-ID-correlated at LevelDebug). Nil runs silent.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +96,7 @@ type Quantiles struct {
 	P50Us  float64 `json:"p50_us"`
 	P95Us  float64 `json:"p95_us"`
 	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
 	MeanUs float64 `json:"mean_us"`
 	MaxUs  float64 `json:"max_us"`
 }
@@ -151,9 +164,11 @@ func Run(cfg Config) (*Result, error) {
 	evals := m.Counter("load.evals")
 	m.Gauge("load.workers").Set(float64(cfg.Workers))
 
-	if cfg.Logf != nil {
-		cfg.Logf("load: %d workers, %d cases (seed %d), %v, select parallelism %d",
-			cfg.Workers, cfg.Cases, cfg.Seed, cfg.Duration, cfg.Parallelism)
+	if cfg.Log != nil {
+		cfg.Log.Info("load run starting",
+			"workers", cfg.Workers, "cases", cfg.Cases, "seed", cfg.Seed,
+			"duration", cfg.Duration, "select_parallelism", cfg.Parallelism,
+			"traced", cfg.Tracer != nil)
 	}
 
 	var before, after runtime.MemStats
@@ -171,12 +186,25 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				lc := cases[int(next.Add(1)-1)%len(cases)]
+				req := cfg.Tracer.Start("select")
 				t0 := time.Now()
+				// The setup span keeps the request's top-level phases
+				// contiguous from t0: selector construction is part of the
+				// serving latency, so it gets its own slice of the tree.
+				spSetup := req.Begin(wtrace.NoParent, "setup")
 				sel := core.NewSelector(lc.c.Model, lc.c.Cluster, lc.cm)
 				sel.Parallelism = cfg.Parallelism
+				sel.Trace = req
+				req.End(spSetup)
 				_, rep, err := sel.Select()
+				latency := time.Since(t0)
 				if err != nil {
 					failures.Inc()
+					cfg.Flight.Complete(req, lc.c.String(), 0, latency, flight.OutcomeError, err)
+					if cfg.Log != nil {
+						cfg.Log.Error("selection failed", "req", req.ID(), "case", lc.c.String(), "err", err)
+					}
+					req.Release()
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("load: %s: %w", lc.c, err)
@@ -184,9 +212,15 @@ func Run(cfg Config) (*Result, error) {
 					errMu.Unlock()
 					continue
 				}
-				lat.Observe(float64(time.Since(t0)) / float64(time.Microsecond))
+				lat.Observe(float64(latency) / float64(time.Microsecond))
 				selections.Inc()
 				evals.Add(int64(rep.Evals))
+				cfg.Flight.Complete(req, lc.c.String(), int64(rep.Evals), latency, flight.OutcomeOK, nil)
+				if cfg.Log != nil {
+					cfg.Log.Debug("selection complete", "req", req.ID(), "case", lc.c.String(),
+						"latency_us", float64(latency)/float64(time.Microsecond), "evals", rep.Evals)
+				}
+				req.Release()
 			}
 		}()
 	}
@@ -209,6 +243,7 @@ func Run(cfg Config) (*Result, error) {
 			P50Us:  lat.Quantile(0.50),
 			P95Us:  lat.Quantile(0.95),
 			P99Us:  lat.Quantile(0.99),
+			P999Us: lat.Quantile(0.999),
 			MeanUs: lat.Mean(),
 			MaxUs:  lat.Quantile(1),
 		},
@@ -224,10 +259,13 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		return nil, errors.New("load: no selection completed within the duration; lower the case bounds or raise -duration")
 	}
-	if cfg.Logf != nil {
-		cfg.Logf("load: %d selections in %.1fs (%.1f/s), %d errors, p50 %.0fµs p95 %.0fµs p99 %.0fµs",
-			res.Selections, res.ElapsedS, res.SelectionsPerSec, res.Errors,
-			res.Latency.P50Us, res.Latency.P95Us, res.Latency.P99Us)
+	if cfg.Log != nil {
+		cfg.Log.Info("load run complete",
+			"selections", res.Selections, "elapsed_s", res.ElapsedS,
+			"selections_per_sec", res.SelectionsPerSec, "errors", res.Errors,
+			"p50_us", res.Latency.P50Us, "p95_us", res.Latency.P95Us,
+			"p99_us", res.Latency.P99Us, "p999_us", res.Latency.P999Us,
+			"anomalies", cfg.Flight.AnomalyCount())
 	}
 	return res, nil
 }

@@ -1,0 +1,66 @@
+package logx
+
+import (
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		" Debug ": slog.LevelDebug,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var f Flags
+	f.Register(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Level != "debug" || !f.JSON {
+		t.Fatalf("flags = %+v", f)
+	}
+}
+
+// TestJSONHandlerOutput checks the JSON mode emits parseable lines with
+// level gating applied.
+func TestJSONHandlerOutput(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := New(tmp, slog.LevelInfo, true)
+	log.Debug("hidden")
+	log.Info("visible", "req", "r0000002a")
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(string(data))
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug line emitted at info level")
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(out), &line); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, out)
+	}
+	if line["msg"] != "visible" || line["req"] != "r0000002a" {
+		t.Fatalf("line = %v", line)
+	}
+}

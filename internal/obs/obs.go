@@ -41,6 +41,10 @@ const (
 	// PhaseFault is fault-handling activity: retransmissions, deadline
 	// aborts, and degradation-triggered re-selection events.
 	PhaseFault
+	// PhaseSearch is wall-clock strategy-search activity — the selection
+	// machinery's own time, exported by internal/obs/wtrace rather than
+	// any virtual-time engine.
+	PhaseSearch
 
 	// NumPhases bounds iteration over the phase space.
 	NumPhases
@@ -64,6 +68,8 @@ func (p Phase) String() string {
 		return "link"
 	case PhaseFault:
 		return "fault"
+	case PhaseSearch:
+		return "search"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}

@@ -15,6 +15,7 @@ func TestPhaseStrings(t *testing.T) {
 		PhaseInter:   "inter-collective",
 		PhaseLink:    "link",
 		PhaseFault:   "fault",
+		PhaseSearch:  "search",
 	}
 	if len(want) != int(NumPhases) {
 		t.Fatalf("test covers %d phases, NumPhases = %d", len(want), NumPhases)

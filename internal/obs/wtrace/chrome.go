@@ -1,0 +1,34 @@
+package wtrace
+
+import (
+	"fmt"
+	"io"
+
+	"espresso/internal/obs"
+)
+
+// WriteChrome exports a request's span tree in Chrome trace-event JSON
+// by mapping wall-clock spans onto the existing virtual-time exporter:
+// the request is rank 0, the request's own goroutine is the "pipeline"
+// track, and each fan-out worker gets its own "workerN" track. Nested
+// pipeline spans nest visually in Perfetto because children are fully
+// contained in their parents by construction.
+func WriteChrome(w io.Writer, spans []Span) error {
+	t := obs.NewTrace()
+	for _, sp := range spans {
+		device := "pipeline"
+		if sp.Worker > 0 {
+			device = fmt.Sprintf("worker%d", sp.Worker-1)
+		}
+		t.Record(obs.Span{
+			Rank:   0,
+			Device: device,
+			Phase:  obs.PhaseSearch,
+			Name:   sp.Name,
+			Start:  sp.Start,
+			End:    sp.End,
+			Tensor: sp.Tensor,
+		})
+	}
+	return t.WriteChrome(w)
+}

@@ -1,0 +1,196 @@
+package wtrace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden Chrome export")
+
+// TestNilDisabledPath pins the package's core contract: every method on
+// a nil *Tracer / nil *Req is a no-op, so instrumented code can call the
+// tracer unconditionally.
+func TestNilDisabledPath(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	req := tr.Start("select")
+	if req != nil {
+		t.Fatal("nil tracer returned a live request")
+	}
+	if got := req.ID(); got != "" {
+		t.Fatalf("nil req ID = %q, want empty", got)
+	}
+	if got := req.Name(); got != "" {
+		t.Fatalf("nil req Name = %q, want empty", got)
+	}
+	if got := req.Now(); got != 0 {
+		t.Fatalf("nil req Now = %v, want 0", got)
+	}
+	sp := req.Begin(NoParent, "seed")
+	if sp != NoParent {
+		t.Fatalf("nil req Begin = %d, want NoParent", sp)
+	}
+	req.End(sp)
+	req.EndEvals(sp, 42)
+	req.Add(NoParent, "worker", 0, 0, time.Second, 1)
+	req.SetClock(func() time.Duration { return 0 })
+	if n := req.SpanCount(); n != 0 {
+		t.Fatalf("nil req SpanCount = %d", n)
+	}
+	if s := req.Spans(); s != nil {
+		t.Fatalf("nil req Spans = %v", s)
+	}
+	req.Release()
+}
+
+// TestNilReqZeroAllocs pins the disabled path as allocation-free: the
+// per-probe span calls the selector makes in its inner loop must cost
+// nothing when tracing is off.
+func TestNilReqZeroAllocs(t *testing.T) {
+	var req *Req
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := req.Begin(NoParent, "probe")
+		req.EndEvals(sp, 7)
+		req.Add(sp, "probe-worker", 0, 0, 0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-path tracer calls allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSpanTree exercises the live path: IDs, parents, tensor encoding,
+// eval attribution, explicit worker windows, and the top-level phase
+// summation.
+func TestSpanTree(t *testing.T) {
+	tr := New()
+	req := tr.Start("select")
+	defer req.Release()
+	if req.Name() != "select" {
+		t.Fatalf("Name = %q", req.Name())
+	}
+	if req.ID() == "" {
+		t.Fatal("empty request ID")
+	}
+
+	var now time.Duration
+	req.SetClock(func() time.Duration { return now })
+
+	seed := req.Begin(NoParent, "seed")
+	now = 10 * time.Millisecond
+	req.EndEvals(seed, 5)
+
+	sweep := req.Begin(NoParent, "sweep")
+	probe := req.BeginTensor(sweep, "probe", 3)
+	now = 15 * time.Millisecond
+	req.EndEvals(probe, 9)
+	now = 30 * time.Millisecond
+	req.End(sweep)
+	req.Add(sweep, "probe-worker", 1, 12*time.Millisecond, 14*time.Millisecond, 4)
+
+	spans := req.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if sp.ID != i {
+			t.Fatalf("span %d has ID %d", i, sp.ID)
+		}
+		if sp.End < sp.Start {
+			t.Fatalf("span %d ends before it starts: %+v", i, sp)
+		}
+	}
+	if spans[0].Parent != NoParent || spans[0].Evals != 5 {
+		t.Fatalf("seed span: %+v", spans[0])
+	}
+	if spans[2].Parent != sweep {
+		t.Fatalf("probe span parent = %d, want %d", spans[2].Parent, sweep)
+	}
+	if idx, ok := spans[2].TensorIndex(); !ok || idx != 3 {
+		t.Fatalf("probe TensorIndex = %d,%v, want 3,true", idx, ok)
+	}
+	if _, ok := spans[0].TensorIndex(); ok {
+		t.Fatal("seed span has a tensor association")
+	}
+	if spans[3].Worker != 2 {
+		t.Fatalf("worker span Worker = %d, want 2 (1+index)", spans[3].Worker)
+	}
+	if spans[3].Dur() != 2*time.Millisecond {
+		t.Fatalf("worker span Dur = %v", spans[3].Dur())
+	}
+
+	phases := PhaseDurations(spans)
+	if len(phases) != 2 {
+		t.Fatalf("phases = %v, want seed+sweep only", phases)
+	}
+	if phases["seed"] != 10*time.Millisecond || phases["sweep"] != 20*time.Millisecond {
+		t.Fatalf("phases = %v", phases)
+	}
+}
+
+// TestPoolReuse checks that released requests recycle their buffers and
+// that IDs keep incrementing across reuse.
+func TestPoolReuse(t *testing.T) {
+	tr := New()
+	r1 := tr.Start("select")
+	id1 := r1.ID()
+	r1.Begin(NoParent, "seed")
+	r1.Release()
+
+	r2 := tr.Start("select")
+	defer r2.Release()
+	if r2.ID() == id1 {
+		t.Fatalf("reused request kept ID %s", id1)
+	}
+	if n := r2.SpanCount(); n != 0 {
+		t.Fatalf("reused request kept %d spans", n)
+	}
+}
+
+// TestGoldenChrome pins the wall-clock Chrome export byte-for-byte: a
+// deterministic clock drives a small span tree through WriteChrome and
+// the output must match testdata/chrome.golden. Regenerate with
+// -run TestGoldenChrome -update.
+func TestGoldenChrome(t *testing.T) {
+	tr := New()
+	req := tr.Start("select")
+	defer req.Release()
+	var now time.Duration
+	req.SetClock(func() time.Duration { return now })
+
+	seed := req.Begin(NoParent, "seed")
+	now = 2 * time.Millisecond
+	req.EndEvals(seed, 3)
+	sweep := req.Begin(NoParent, "sweep")
+	probe := req.BeginTensor(sweep, "probe", 0)
+	now = 5 * time.Millisecond
+	req.EndEvals(probe, 8)
+	now = 6 * time.Millisecond
+	req.End(sweep)
+	req.Add(sweep, "probe-worker", 0, 2*time.Millisecond, 5*time.Millisecond, 8)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, req.Spans()); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome export drifted from %s (regenerate with -update)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,18 @@
+"""Validate an espresso-load -flight-out exit dump.
+
+Checks the JSON is well-formed, holds at least one record, and that
+every anomaly record carries its classification.
+
+Usage: python3 scripts/flight_check_dump.py artifacts/flight.json
+"""
+
+import json
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "artifacts/flight.json"
+d = json.load(open(path))
+assert d["total"] > 0, "exit dump has no records"
+assert d["records"], "exit dump listing empty"
+for a in d["anomalies"]:
+    assert a["anomaly"] and a["anomaly_reason"], a
+print("exit flight dump ok:", d["total"], "records,", d["anomaly_total"], "anomalies")
