@@ -1,13 +1,23 @@
-// Command espresso-chaos sweeps straggler severity: it selects the
-// healthy-topology Espresso strategy once, then for each severity
-// (bandwidth divisor) re-runs selection on the degraded topology,
-// warm-started from the healthy incumbent, and reports the predicted
-// iteration time before/after and the strategy's communication shape.
-// The shape column surfaces the flat<->hierarchical crossover: as the
-// inter-machine link degrades, the optimum migrates between single-phase
-// flat collectives and two-level hierarchical ones.
+// Command espresso-chaos has two modes.
+//
+// Severity sweep (default): it selects the healthy-topology Espresso
+// strategy once, then for each severity (bandwidth divisor) re-runs
+// selection on the degraded topology, warm-started from the healthy
+// incumbent, and reports the predicted iteration time before/after and
+// the strategy's communication shape. The shape column surfaces the
+// flat<->hierarchical crossover: as the inter-machine link degrades, the
+// optimum migrates between single-phase flat collectives and two-level
+// hierarchical ones.
 //
 //	espresso-chaos -model lstm -cluster nvlink -machines 4 -severities 1,2,4,8,16
+//
+// Plan execution (-plan): it loads a fault-injection plan (including
+// elastic leave/join membership events), selects the healthy strategy,
+// and runs iterations against the faulted network — reconfiguring
+// through membership changes per the plan's degradation policy — then
+// writes the full run report.
+//
+//	espresso-chaos -plan configs/chaos-elastic.json -iters 8 -report report.json -deterministic
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"espresso/internal/logx"
 	"espresso/internal/model"
 	"espresso/internal/par"
+	"espresso/internal/strategy"
 )
 
 type sweepRow struct {
@@ -50,6 +61,11 @@ func main() {
 		severities = flag.String("severities", "1,2,4,8,16", "comma-separated straggler severities (inter bandwidth divisors)")
 		parallel   = flag.Int("parallel", 0, "strategy-search workers (0 = one per CPU)")
 		jsonOut    = flag.String("json-out", "", "write the sweep rows as JSON")
+		planF      = flag.String("plan", "", "fault-injection plan JSON; runs iterations against the faulted network instead of sweeping severities")
+		iters      = flag.Int("iters", 8, "iterations to run in plan mode")
+		reportF    = flag.String("report", "", "write the plan-mode run report JSON")
+		determin   = flag.Bool("deterministic", false, "zero wall-clock fields in the report so same-seed reruns are byte-identical")
+		policyF    = flag.String("policy", "", "override the plan's degradation policy (reselect, continue-degraded, abort-after-n-failures)")
 	)
 	var logf logx.Flags
 	logf.Register(nil)
@@ -91,6 +107,11 @@ func main() {
 	}
 	fmt.Printf("healthy strategy: iteration %v, shape %s\n\n", rep.Iter, chaos.ShapeOf(healthy))
 
+	if *planF != "" {
+		runPlan(m, c, spec, healthy, *planF, *iters, *reportF, *determin, *policyF, par.Workers(*parallel))
+		return
+	}
+
 	var rows []sweepRow
 	fmt.Printf("%-9s %-14s %-14s %-8s %-28s %s\n",
 		"severity", "incumbent", "re-selected", "gain", "shape after", "adopted")
@@ -122,6 +143,67 @@ func main() {
 		}
 		fmt.Printf("\nwrote sweep to %s\n", *jsonOut)
 	}
+}
+
+// runPlan executes a fault-injection plan end to end: iterations replay
+// on the faulted network, membership changes reconfigure per the plan's
+// policy, and the full report (samples, membership events, fault
+// statistics) is printed and optionally written.
+func runPlan(m *model.Model, c *cluster.Cluster, spec compress.Spec, s *strategy.Strategy,
+	planPath string, iters int, reportPath string, deterministic bool, policy string, workers int) {
+	plan, err := chaos.Load(planPath)
+	if err != nil {
+		fatal(err)
+	}
+	if policy != "" {
+		plan.Reconfig.Policy = chaos.Policy(policy)
+		if err := plan.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+	runner, err := chaos.NewRunner(m, c, spec, s, plan)
+	if err != nil {
+		fatal(err)
+	}
+	runner.Parallelism = workers
+	runner.Deterministic = deterministic
+
+	writeReport := func() {
+		if reportPath == "" {
+			return
+		}
+		if err := runner.Report().WriteJSON(reportPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote report to %s\n", reportPath)
+	}
+	seen := 0
+	for it := 0; it < iters; it++ {
+		sample, err := runner.RunIteration(it)
+		if err != nil {
+			writeReport()
+			fatal(err)
+		}
+		tag := ""
+		if sample.Breach {
+			tag = " [breach]"
+		}
+		fmt.Printf("iteration %d: %d machines, predicted %v observed %v%s\n",
+			it, sample.Members, sample.Predicted, sample.Observed, tag)
+		for _, ev := range runner.Report().Membership[seen:] {
+			fmt.Printf("membership change at %v (%s): left=%v joined=%v -> %d machines (barrier %d attempts, %v)\n",
+				ev.Time, ev.Detected, ev.Left, ev.Joined, len(ev.Members), ev.BarrierAttempts, ev.BarrierTime)
+			if rs := ev.Reselection; rs != nil {
+				fmt.Printf("  re-selected on %d machines: %v -> %v (%.1f%% better, adopted=%v)\n",
+					len(ev.Members), rs.Before, rs.After, 100*rs.Improvement, rs.Adopted)
+			}
+			seen++
+		}
+	}
+	final := runner.Report()
+	fmt.Printf("\nrun complete: %d iterations, %d membership events, %d drops, %d member failures\n",
+		len(final.Samples), len(final.Membership), final.Net.Dropped, final.Net.MemberFailures)
+	writeReport()
 }
 
 func fatal(err error) {

@@ -76,6 +76,7 @@ func main() {
 		analyzeOut = flag.String("analyze-out", "", "write an iteration-profile JSON (critical path, device stats, phase breakdown)")
 		chaosF     = flag.String("chaos", "", "fault-injection plan JSON; iterations run against the faulted network with retry/timeout recovery")
 		chaosOut   = flag.String("chaos-report", "", "write the chaos run report JSON (requires -chaos)")
+		chaosDet   = flag.Bool("deterministic", false, "zero wall-clock fields in the chaos report so same-seed reruns are byte-identical")
 		listen     = flag.String("listen", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
 	var logf logx.Flags
@@ -235,6 +236,7 @@ func main() {
 		runner.Explain = *explain
 		runner.Trace = trace
 		runner.Metrics = metrics
+		runner.Deterministic = *chaosDet
 	}
 
 	// Execute the data plane with scaled-down tensors: per-GPU random
@@ -248,7 +250,9 @@ func main() {
 		x.Wire = runner.WireConfig()
 	}
 	rng := rand.New(rand.NewSource(1))
-	total := c.TotalGPUs()
+	dataC := c
+	total := dataC.TotalGPUs()
+	seenEvents := 0
 	for it := 0; it < *iters; it++ {
 		if runner != nil {
 			sample, err := runner.RunIteration(it)
@@ -270,6 +274,28 @@ func main() {
 					core.WriteDecisions(os.Stdout, rs.Decisions)
 				}
 				s = runner.Strategy // data plane follows the adopted strategy
+			}
+			// Elastic membership: when the runner reconfigured, rebuild the
+			// data plane on the surviving topology and follow the (possibly
+			// re-selected) strategy.
+			if events := runner.Report().Membership; len(events) > seenEvents {
+				for _, ev := range events[seenEvents:] {
+					fmt.Printf("membership change at %v (%s): left=%v joined=%v -> %d machines (barrier %d attempts, %v)\n",
+						ev.Time, ev.Detected, ev.Left, ev.Joined, len(ev.Members), ev.BarrierAttempts, ev.BarrierTime)
+					if rs := ev.Reselection; rs != nil {
+						fmt.Printf("  re-selected on %d machines: %v -> %v (%.1f%% better, adopted=%v)\n",
+							len(ev.Members), rs.Before, rs.After, 100*rs.Improvement, rs.Adopted)
+					}
+				}
+				seenEvents = len(events)
+				dataC = runner.ActiveCluster()
+				if x, err = ddl.NewExecutor(dataC, spec); err != nil {
+					fatal(err)
+				}
+				x.Metrics = metrics
+				x.Wire = runner.WireConfig()
+				total = dataC.TotalGPUs()
+				s = runner.Strategy
 			}
 		}
 		for ti := range m.Tensors {

@@ -7,33 +7,76 @@ import (
 	"espresso/internal/netsim"
 )
 
-// Transitions lowers the plan's link faults into a netsim transition
-// timeline for an n-node network whose healthy link bandwidth is
-// baseBps. Straggler and flap faults degrade to baseBps*Scale and
+// Transitions lowers the plan's link and membership faults into a netsim
+// transition timeline for an n-node network whose healthy link bandwidth
+// is baseBps. Straggler and flap faults degrade to baseBps*Scale and
 // restore to baseBps at their window boundaries; loss faults set and
-// clear the loss rate. Overlapping faults on the same link resolve
-// last-transition-wins (netsim applies transitions in time order).
+// clear the loss rate; leave/join faults become membership transitions.
+// Overlapping faults on the same link resolve last-transition-wins
+// (netsim applies transitions in time order). Faults naming a rank
+// outside [0, n) are an error.
 func (p *Plan) Transitions(n int, baseBps float64) ([]netsim.Transition, error) {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		switch f.Kind {
+		case Straggler, Flap:
+			if f.Src >= 0 && (f.Src >= n || f.Dst < 0 || f.Dst >= n) {
+				return nil, fmt.Errorf("chaos: link %d->%d out of range for %d nodes", f.Src, f.Dst, n)
+			}
+		case Leave, Join:
+			if f.Rank >= n {
+				return nil, fmt.Errorf("chaos: membership rank %d out of range for %d nodes", f.Rank, n)
+			}
+		}
+	}
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return p.transitionsFor(ranks, baseBps)
+}
+
+// transitionsFor lowers the plan for a network whose node i hosts global
+// rank ranks[i] — the remapping the elastic Runner needs after a
+// Restrict, where the surviving network's indices no longer match the
+// plan's rank numbers. Faults naming a rank absent from the mapping are
+// dropped (a departed rank's links do not exist on the restricted
+// network, and the full-topology Arm has already range-checked the
+// plan); global faults (src -1) and loss always apply. Leave/join
+// events for mapped ranks lower to Member transitions, so a
+// mid-iteration departure fails in-flight messages fast.
+func (p *Plan) transitionsFor(ranks []int, baseBps float64) ([]netsim.Transition, error) {
 	if baseBps <= 0 {
 		return nil, fmt.Errorf("chaos: baseline bandwidth %g B/s, want > 0", baseBps)
 	}
-	var ts []netsim.Transition
-	link := func(f *Fault, at time.Duration, bps float64) (netsim.Transition, error) {
-		tr := netsim.Transition{At: at, Src: f.Src, Dst: f.Dst, Bps: bps, Loss: -1}
-		if f.Src < 0 {
-			tr.Src, tr.Dst = -1, -1
-		} else if f.Src >= n || f.Dst < 0 || f.Dst >= n {
-			return tr, fmt.Errorf("chaos: link %d->%d out of range for %d nodes", f.Src, f.Dst, n)
+	node := make(map[int]int, len(ranks)) // global rank -> network index
+	for i, r := range ranks {
+		if _, dup := node[r]; dup || r < 0 {
+			return nil, fmt.Errorf("chaos: bad rank mapping %v", ranks)
 		}
-		return tr, nil
+		node[r] = i
 	}
+	// link maps a fault's rank-space endpoints onto network indices;
+	// ok = false means an endpoint is unmapped and the fault is dropped.
+	link := func(f *Fault, at time.Duration, bps float64) (netsim.Transition, bool) {
+		if f.Src < 0 {
+			return netsim.Transition{At: at, Src: -1, Dst: -1, Bps: bps, Loss: -1}, true
+		}
+		src, okS := node[f.Src]
+		dst, okD := node[f.Dst]
+		if !okS || !okD {
+			return netsim.Transition{}, false
+		}
+		return netsim.Transition{At: at, Src: src, Dst: dst, Bps: bps, Loss: -1}, true
+	}
+	var ts []netsim.Transition
 	for i := range p.Faults {
 		f := &p.Faults[i]
 		switch f.Kind {
 		case Straggler:
-			deg, err := link(f, f.Start.D(), baseBps*f.Scale)
-			if err != nil {
-				return nil, err
+			deg, ok := link(f, f.Start.D(), baseBps*f.Scale)
+			if !ok {
+				continue
 			}
 			ts = append(ts, deg)
 			if f.Duration > 0 {
@@ -41,6 +84,9 @@ func (p *Plan) Transitions(n int, baseBps float64) ([]netsim.Transition, error) 
 				ts = append(ts, rst)
 			}
 		case Flap:
+			if _, ok := link(f, f.Start.D(), baseBps); !ok {
+				continue
+			}
 			end := f.Start.D() + f.Duration.D()
 			degraded := false
 			for at := f.Start.D(); at < end; at += f.Period.D() {
@@ -49,10 +95,7 @@ func (p *Plan) Transitions(n int, baseBps float64) ([]netsim.Transition, error) 
 					bps = baseBps
 				}
 				degraded = !degraded
-				tr, err := link(f, at, bps)
-				if err != nil {
-					return nil, err
-				}
+				tr, _ := link(f, at, bps)
 				ts = append(ts, tr)
 			}
 			rst, _ := link(f, end, baseBps)
@@ -62,6 +105,16 @@ func (p *Plan) Transitions(n int, baseBps float64) ([]netsim.Transition, error) 
 			if f.Duration > 0 {
 				ts = append(ts, netsim.Transition{At: f.Start.D() + f.Duration.D(), Src: -1, Dst: -1, Loss: 0})
 			}
+		case Leave, Join:
+			idx, ok := node[f.Rank]
+			if !ok {
+				continue
+			}
+			member := netsim.MemberLeave
+			if f.Kind == Join {
+				member = netsim.MemberJoin
+			}
+			ts = append(ts, netsim.Transition{At: f.Start.D(), Src: idx, Dst: idx, Loss: -1, Member: member})
 		}
 	}
 	return ts, nil

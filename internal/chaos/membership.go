@@ -1,0 +1,293 @@
+// Elastic membership: the Runner's reconfiguration protocol. A plan's
+// leave/join faults change the machine set mid-run; the Runner detects a
+// departure (scheduled boundary, in-flight delivery failure against a
+// departed rank, or a missed deadline covering a membership change),
+// drains the iteration, quiesces the survivors with a bounded
+// retry/timeout/backoff barrier, rebuilds the network and cost models on
+// the surviving topology, applies the plan's degradation policy
+// (re-select, continue degraded, or abort after N failures), and
+// resumes — symmetrically re-expanding when a rank rejoins.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"espresso/internal/cost"
+	"espresso/internal/netsim"
+	"espresso/internal/obs/flight"
+)
+
+// Detection labels how a membership change was noticed.
+const (
+	// DetectSchedule is an orderly boundary detection: the plan's
+	// membership at the iteration start differs from the runner's.
+	DetectSchedule = "schedule"
+	// DetectDelivery is a mid-iteration fail-fast: a message touched a
+	// departed rank.
+	DetectDelivery = "delivery-failure"
+	// DetectDeadline is a missed iteration deadline whose window covers a
+	// scheduled membership change.
+	DetectDeadline = "deadline"
+)
+
+// MembershipEvent records one reconfiguration in the run report.
+type MembershipEvent struct {
+	// Iteration is the iteration during (or before) which the change was
+	// detected; Time is the virtual detection instant.
+	Iteration int      `json:"iteration"`
+	Time      Duration `json:"time"`
+	// Detected is one of the Detect* labels.
+	Detected string `json:"detected"`
+	// Left/Joined are the ranks that departed/returned in this event;
+	// Members is the full surviving rank set afterwards.
+	Left    []int `json:"left,omitempty"`
+	Joined  []int `json:"joined,omitempty"`
+	Members []int `json:"members"`
+	// Generation counts reconfigurations (the initial topology is 0).
+	Generation int `json:"generation"`
+	// Policy echoes the degradation policy applied.
+	Policy Policy `json:"policy"`
+	// BarrierAttempts/BarrierTime describe the quiesce barrier: how many
+	// bounded attempts it took and the virtual time it consumed.
+	BarrierAttempts int      `json:"barrier_attempts"`
+	BarrierTime     Duration `json:"barrier_time"`
+	// Reselection is the policy's re-selection record (reselect and
+	// abort-after-n-failures policies only).
+	Reselection *Reselection `json:"reselection,omitempty"`
+}
+
+// BarrierError reports a quiesce barrier that exhausted its bounded
+// attempts — the surviving set could not agree to resume.
+type BarrierError struct {
+	Attempts int
+	Elapsed  time.Duration
+	Last     error
+}
+
+func (e *BarrierError) Error() string {
+	return fmt.Sprintf("chaos: quiesce barrier failed after %d attempts (%v): %v",
+		e.Attempts, e.Elapsed, e.Last)
+}
+
+func (e *BarrierError) Unwrap() error { return e.Last }
+
+// AbortError reports a run stopped by the abort-after-n-failures policy.
+type AbortError struct {
+	Failures int
+	Last     error
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("chaos: aborted after %d membership failures: %v", e.Failures, e.Last)
+}
+
+func (e *AbortError) Unwrap() error { return e.Last }
+
+// classifyMembershipFailure decides whether an iteration error is
+// membership-caused: a typed MemberGoneError anywhere in the chain, or a
+// deadline abort whose window covers a scheduled membership change.
+func (r *Runner) classifyMembershipFailure(err error) (string, bool) {
+	var gone *netsim.MemberGoneError
+	if errors.As(err, &gone) {
+		return DetectDelivery, true
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) && r.Plan.Deadline > 0 {
+		want, werr := r.Plan.MembersAt(r.clock+r.Plan.Deadline.D(), r.C.Machines)
+		if werr == nil && !equalMembers(want, r.members) {
+			return DetectDeadline, true
+		}
+	}
+	return "", false
+}
+
+// reconfigure executes the reconfiguration protocol at virtual time at:
+// recompute the scheduled membership, rebuild the network on the
+// survivors (Restrict on a pure shrink, fresh on a rejoin), replay the
+// remapped fault timeline up to now, run the quiesce barrier, swap the
+// runner's topology state, apply the degradation policy, and record the
+// MembershipEvent. cause is the triggering error (nil for an orderly
+// boundary detection).
+func (r *Runner) reconfigure(it int, at time.Duration, detected string, cause error) error {
+	want, err := r.Plan.MembersAt(at, r.C.Machines)
+	if err != nil {
+		return err
+	}
+	survivors := ranksOf(want)
+	if len(survivors) == 0 {
+		return fmt.Errorf("chaos: membership empty at %v", at)
+	}
+	left, joined := diffMembers(r.members, want)
+
+	gen := r.generation + 1
+	var nw2 *netsim.Network
+	if len(joined) == 0 {
+		// Pure shrink: restrict the live network over the survivors'
+		// current positions, carrying link state and the loss stream.
+		pos := make([]int, 0, len(survivors))
+		for i, rank := range r.rankMap {
+			if want[rank] {
+				pos = append(pos, i)
+			}
+		}
+		if nw2, err = r.nw.Restrict(pos); err != nil {
+			return err
+		}
+	} else {
+		// A rejoin needs links the old network does not have: build
+		// fresh, with a generation-mixed seed so the loss stream stays
+		// deterministic but independent of the retired network's.
+		if nw2, err = netsim.New(len(survivors), r.C.InterLatency, r.C.InterBandwidth); err != nil {
+			return err
+		}
+		nw2.Seed(mixSeed(r.Plan.Seed, uint64(gen)))
+	}
+	nw2.SetRecovery(r.Plan.Retry.Recovery())
+	// Re-lower the plan for the survivor mapping and replay it to now:
+	// transitions carry absolute values, so the link matrix converges to
+	// the correct current state regardless of the starting matrix.
+	ts, err := r.Plan.transitionsFor(survivors, r.baseBps)
+	if err != nil {
+		return err
+	}
+	if err := nw2.Program(ts); err != nil {
+		return err
+	}
+	nw2.Idle(at)
+
+	attempts, barrierTime, err := r.quiesce(nw2)
+	if err != nil {
+		return err
+	}
+
+	// Swap topology state: retire the old network's counters, rebuild the
+	// cluster description and cost models for the surviving machine set.
+	r.netBase = r.netBase.Add(r.nw.Stats())
+	curC, err := r.C.WithMachines(len(survivors))
+	if err != nil {
+		return err
+	}
+	cm, err := cost.NewModels(curC, r.Spec)
+	if err != nil {
+		return err
+	}
+	r.nw, r.curC, r.cm = nw2, curC, cm
+	r.members, r.rankMap, r.generation = want, survivors, gen
+	r.prevStats = nw2.Stats()
+	r.clock = nw2.Now()
+	r.monitor.Reset()
+
+	ev := MembershipEvent{
+		Iteration: it, Time: Duration(at), Detected: detected,
+		Left: left, Joined: joined, Members: survivors,
+		Generation: gen, Policy: r.Plan.Reconfig.policy(),
+		BarrierAttempts: attempts, BarrierTime: Duration(barrierTime),
+	}
+	switch ev.Policy {
+	case PolicyContinueDegraded:
+		// Keep the stale strategy — the degradation baseline.
+	default: // reselect, abort-after-n-failures
+		gpuS, cpuS := r.Plan.DeviceScalesAt(r.clock)
+		next, rs, err := Reselect(r.M, r.curC, r.Spec, r.Strategy, ReselectOptions{
+			InterScale: bottleneckScale(r.nw.Snapshot(), r.baseBps),
+			GPUScale:   gpuS, CPUScale: cpuS,
+			Parallelism: r.Parallelism, Explain: r.Explain,
+			ProbeDeadline: r.ProbeDeadline,
+			Tracer:        r.Tracer,
+		})
+		if err != nil {
+			return err
+		}
+		rs.Iteration = it
+		if r.Deterministic {
+			rs.SelectionTime = 0
+		}
+		if rs.Adopted {
+			r.Strategy = next
+		}
+		ev.Reselection = rs
+	}
+	r.report.Membership = append(r.report.Membership, ev)
+	if r.Flight != nil {
+		fp := fmt.Sprintf("reconfig %s gen=%d members=%v left=%v joined=%v",
+			detected, gen, survivors, left, joined)
+		r.Flight.Complete(nil, fp, 0, 0, flight.OutcomeReconfig, cause)
+	}
+	return nil
+}
+
+// quiesce runs the bounded retry/timeout/backoff barrier on the new
+// network: the survivors exchange a small allgather under a deadline
+// that grows by the configured backoff each attempt. Exhausting the
+// attempt budget is fatal (a typed *BarrierError).
+func (r *Runner) quiesce(nw *netsim.Network) (attempts int, elapsed time.Duration, err error) {
+	timeout, backoff, budget := r.Plan.Reconfig.barrier()
+	start := nw.Now()
+	var last error
+	for k := 1; k <= budget; k++ {
+		nw.ArmDeadline(time.Duration(float64(timeout) * math.Pow(backoff, float64(k-1))))
+		_, last = nw.RingAllgather(barrierBytes)
+		nw.Reset()
+		if last == nil {
+			nw.ArmDeadline(0)
+			return k, nw.Now() - start, nil
+		}
+	}
+	nw.ArmDeadline(0)
+	return budget, nw.Now() - start, &BarrierError{
+		Attempts: budget, Elapsed: nw.Now() - start, Last: last,
+	}
+}
+
+// barrierBytes is each survivor's quiesce-barrier contribution: a
+// membership digest, not a payload.
+const barrierBytes = 64
+
+// mixSeed derives a per-generation PRNG seed (splitmix64 finalizer).
+func mixSeed(seed, gen uint64) uint64 {
+	z := seed + gen*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ranksOf lists the true indices of a membership vector.
+func ranksOf(members []bool) []int {
+	out := make([]int, 0, len(members))
+	for i, up := range members {
+		if up {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// equalMembers compares membership vectors.
+func equalMembers(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffMembers reports the ranks that left (in old, not in new) and
+// joined (in new, not in old).
+func diffMembers(old, new []bool) (left, joined []int) {
+	for i := range old {
+		switch {
+		case old[i] && !new[i]:
+			left = append(left, i)
+		case !old[i] && new[i]:
+			joined = append(joined, i)
+		}
+	}
+	return left, joined
+}

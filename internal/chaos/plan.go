@@ -74,6 +74,13 @@ const (
 	// Corrupt flips a byte of each encoded payload with probability
 	// Rate on the DDL data plane; corrupt arrivals are retransmitted.
 	Corrupt FaultKind = "corrupt"
+	// Leave removes machine Rank from the membership at Start: in-flight
+	// and subsequent messages touching it fail fast, and the Runner
+	// reconfigures onto the surviving topology.
+	Leave FaultKind = "leave"
+	// Join returns a previously departed machine Rank to the membership
+	// at Start; the Runner re-expands symmetrically.
+	Join FaultKind = "join"
 )
 
 // Fault is one scheduled fault. Fields beyond Kind/Start are
@@ -97,6 +104,32 @@ type Fault struct {
 	Period Duration `json:"period,omitempty"`
 	// Device selects "gpu", "cpu", or "" (both) for slow-device.
 	Device string `json:"device,omitempty"`
+	// Rank is the machine index for leave/join membership events.
+	Rank int `json:"rank,omitempty"`
+
+	// durationSet records whether the plan JSON spelled out a duration —
+	// an explicit zero-length window is a validation error, while an
+	// omitted duration means "sustained to the end of the run".
+	durationSet bool
+}
+
+// UnmarshalJSON tracks whether the duration field was present, so
+// Validate can reject explicit zero-duration windows without changing
+// the meaning of an omitted duration.
+func (f *Fault) UnmarshalJSON(data []byte) error {
+	type alias Fault
+	aux := struct {
+		Duration *Duration `json:"duration"`
+		*alias
+	}{alias: (*alias)(f)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.Duration != nil {
+		f.Duration = *aux.Duration
+		f.durationSet = true
+	}
+	return nil
 }
 
 // window reports whether t falls inside the fault's active window.
@@ -105,6 +138,34 @@ func (f *Fault) window(t time.Duration) bool {
 		return false
 	}
 	return f.Duration <= 0 || t < f.Start.D()+f.Duration.D()
+}
+
+// end is the exclusive end of the fault's window; -1 means sustained.
+func (f *Fault) end() time.Duration {
+	if f.Duration <= 0 {
+		return -1
+	}
+	return f.Start.D() + f.Duration.D()
+}
+
+// overlaps reports whether two fault windows intersect.
+func overlaps(a, b *Fault) bool {
+	if ae := a.end(); ae >= 0 && ae <= b.Start.D() {
+		return false
+	}
+	if be := b.end(); be >= 0 && be <= a.Start.D() {
+		return false
+	}
+	return true
+}
+
+// sameLink reports whether two link faults can touch the same link
+// (either is global, or they name the same src->dst pair).
+func sameLink(a, b *Fault) bool {
+	if a.Src < 0 || b.Src < 0 {
+		return true
+	}
+	return a.Src == b.Src && a.Dst == b.Dst
 }
 
 // RetryConfig mirrors netsim.Recovery in plan JSON; zero fields use the
@@ -124,6 +185,70 @@ func (r RetryConfig) Recovery() netsim.Recovery {
 		MaxRTO:      r.MaxRTO.D(),
 		MaxAttempts: r.MaxAttempts,
 	}
+}
+
+// Policy names a graceful-degradation policy: what the Runner does when
+// membership changes mid-run.
+type Policy string
+
+const (
+	// PolicyReselect (the default) re-runs strategy selection on the
+	// reconfigured topology, warm-started from the incumbent.
+	PolicyReselect Policy = "reselect"
+	// PolicyContinueDegraded keeps the stale strategy on the
+	// reconfigured topology — no re-selection, the degradation baseline.
+	PolicyContinueDegraded Policy = "continue-degraded"
+	// PolicyAbortAfterN behaves like reselect but aborts the run with a
+	// typed error once MaxFailures iteration/reconfiguration failures
+	// have accumulated.
+	PolicyAbortAfterN Policy = "abort-after-n-failures"
+)
+
+// ReconfigConfig governs elastic reconfiguration: the degradation policy
+// and the bounded retry/timeout/backoff quiesce barrier that survivors
+// run before resuming.
+type ReconfigConfig struct {
+	// Policy selects the degradation policy (default reselect).
+	Policy Policy `json:"policy,omitempty"`
+	// MaxFailures arms abort-after-n-failures (default 3).
+	MaxFailures int `json:"max_failures,omitempty"`
+	// BarrierTimeout bounds one barrier attempt in virtual time
+	// (default 5ms); BarrierBackoff grows it per retry (default 2, must
+	// be >= 1); BarrierAttempts bounds total attempts (default 5).
+	BarrierTimeout  Duration `json:"barrier_timeout,omitempty"`
+	BarrierBackoff  float64  `json:"barrier_backoff,omitempty"`
+	BarrierAttempts int      `json:"barrier_attempts,omitempty"`
+}
+
+// policy resolves the configured policy with its default.
+func (r ReconfigConfig) policy() Policy {
+	if r.Policy == "" {
+		return PolicyReselect
+	}
+	return r.Policy
+}
+
+// maxFailures resolves the abort threshold with its default.
+func (r ReconfigConfig) maxFailures() int {
+	if r.MaxFailures <= 0 {
+		return 3
+	}
+	return r.MaxFailures
+}
+
+// barrier resolves the quiesce-barrier bounds with their defaults.
+func (r ReconfigConfig) barrier() (timeout time.Duration, backoff float64, attempts int) {
+	timeout, backoff, attempts = r.BarrierTimeout.D(), r.BarrierBackoff, r.BarrierAttempts
+	if timeout <= 0 {
+		timeout = 5 * time.Millisecond
+	}
+	if backoff < 1 {
+		backoff = 2
+	}
+	if attempts <= 0 {
+		attempts = 5
+	}
+	return timeout, backoff, attempts
 }
 
 // MonitorConfig sets the degradation detector's thresholds.
@@ -148,6 +273,8 @@ type Plan struct {
 	Retry RetryConfig `json:"retry,omitempty"`
 	// Monitor configures degradation detection.
 	Monitor MonitorConfig `json:"monitor,omitempty"`
+	// Reconfig configures elastic-membership reconfiguration.
+	Reconfig ReconfigConfig `json:"reconfig,omitempty"`
 	// Faults is the schedule.
 	Faults []Fault `json:"faults"`
 }
@@ -173,7 +300,10 @@ func Parse(data []byte) (*Plan, error) {
 	return &p, nil
 }
 
-// Validate checks every fault's parameters.
+// Validate checks every fault's parameters, then the schedule as a
+// whole: explicit zero-duration windows, contradictory overlapping
+// faults on the same link, and inconsistent membership sequences
+// (double-leave, join of a present rank) are all rejected.
 func (p *Plan) Validate() error {
 	for i := range p.Faults {
 		f := &p.Faults[i]
@@ -182,6 +312,9 @@ func (p *Plan) Validate() error {
 		}
 		if f.Start < 0 || f.Duration < 0 || f.Period < 0 {
 			return at("negative times")
+		}
+		if f.durationSet && f.Duration == 0 {
+			return at("zero-duration fault window (omit duration for a sustained fault)")
 		}
 		switch f.Kind {
 		case Straggler, Flap:
@@ -219,6 +352,16 @@ func (p *Plan) Validate() error {
 			if f.Rate <= 0 || f.Rate > 1 {
 				return at("rate %g, want (0, 1]", f.Rate)
 			}
+		case Leave, Join:
+			if f.Rank < 0 {
+				return at("rank %d, want >= 0", f.Rank)
+			}
+			if f.Scale != 0 || f.Rate != 0 || f.Period != 0 {
+				return at("scale/rate/period do not apply to membership events")
+			}
+			if f.Duration != 0 {
+				return at("membership events are instantaneous (no duration)")
+			}
 		default:
 			return at("unknown kind")
 		}
@@ -229,7 +372,175 @@ func (p *Plan) Validate() error {
 	if p.Monitor.Consecutive < 0 {
 		return fmt.Errorf("chaos: monitor consecutive %d, want >= 0", p.Monitor.Consecutive)
 	}
+	switch p.Reconfig.Policy {
+	case "", PolicyReselect, PolicyContinueDegraded, PolicyAbortAfterN:
+	default:
+		return fmt.Errorf("chaos: reconfig policy %q, want %s, %s, or %s",
+			p.Reconfig.Policy, PolicyReselect, PolicyContinueDegraded, PolicyAbortAfterN)
+	}
+	if p.Reconfig.MaxFailures < 0 {
+		return fmt.Errorf("chaos: reconfig max_failures %d, want >= 0", p.Reconfig.MaxFailures)
+	}
+	if p.Reconfig.BarrierTimeout < 0 || p.Reconfig.BarrierAttempts < 0 {
+		return fmt.Errorf("chaos: reconfig barrier bounds must be >= 0")
+	}
+	if b := p.Reconfig.BarrierBackoff; b != 0 && b < 1 {
+		return fmt.Errorf("chaos: reconfig barrier_backoff %g, want >= 1 (or 0 for default)", b)
+	}
+	if err := p.validateMembership(); err != nil {
+		return err
+	}
+	return p.validateOverlaps()
+}
+
+// validateMembership checks the leave/join schedule per rank: events
+// must alternate (a rank can only leave while present and only join
+// while absent), and two events for one rank cannot share an instant.
+func (p *Plan) validateMembership() error {
+	events := p.membershipEvents()
+	last := map[int]*Fault{} // rank -> most recent event
+	for _, f := range events {
+		prev := last[f.Rank]
+		if prev != nil && prev.Start == f.Start {
+			return fmt.Errorf("chaos: rank %d has two membership events at %v", f.Rank, f.Start)
+		}
+		present := prev == nil || prev.Kind == Join
+		if f.Kind == Leave && !present {
+			return fmt.Errorf("chaos: double leave of rank %d at %v (already absent)", f.Rank, f.Start)
+		}
+		if f.Kind == Join && present {
+			return fmt.Errorf("chaos: join of present rank %d at %v", f.Rank, f.Start)
+		}
+		last[f.Rank] = f
+	}
 	return nil
+}
+
+// validateOverlaps rejects contradictory overlapping faults: two
+// bandwidth faults (straggler/flap) whose windows intersect on the same
+// link resolve order-dependently, two overlapping loss windows fight
+// over the global loss rate, and a link fault that names a rank during
+// its absence can never take effect.
+func (p *Plan) validateOverlaps() error {
+	conflict := func(i, j int, what string) error {
+		a, b := &p.Faults[i], &p.Faults[j]
+		return fmt.Errorf("chaos: faults %d (%s) and %d (%s) overlap %s", i, a.Kind, j, b.Kind, what)
+	}
+	for i := range p.Faults {
+		a := &p.Faults[i]
+		for j := i + 1; j < len(p.Faults); j++ {
+			b := &p.Faults[j]
+			if !overlaps(a, b) {
+				continue
+			}
+			aBW := a.Kind == Straggler || a.Kind == Flap
+			bBW := b.Kind == Straggler || b.Kind == Flap
+			if aBW && bBW && sameLink(a, b) {
+				return conflict(i, j, "on the same link (contradictory bandwidth)")
+			}
+			if a.Kind == Loss && b.Kind == Loss {
+				return conflict(i, j, "(contradictory loss rates)")
+			}
+		}
+	}
+	// A link fault naming a specific rank must not overlap that rank's
+	// absence window.
+	events := p.membershipEvents()
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if (f.Kind != Straggler && f.Kind != Flap) || f.Src < 0 {
+			continue
+		}
+		for _, away := range absences(events) {
+			if away.rank != f.Src && away.rank != f.Dst {
+				continue
+			}
+			win := &Fault{Start: away.from}
+			if away.to >= 0 {
+				win.Duration = Duration(away.to - away.from.D())
+			}
+			if overlaps(f, win) {
+				return fmt.Errorf("chaos: fault %d (%s) on link %d->%d overlaps rank %d's absence",
+					i, f.Kind, f.Src, f.Dst, away.rank)
+			}
+		}
+	}
+	return nil
+}
+
+// absence is one closed period a rank spends outside the membership;
+// to < 0 means it never rejoins.
+type absence struct {
+	rank int
+	from Duration
+	to   time.Duration
+}
+
+// absences pairs each leave with its matching join (events are already
+// validated to alternate).
+func absences(events []*Fault) []absence {
+	var out []absence
+	open := map[int]int{} // rank -> index into out of the open absence
+	for _, f := range events {
+		switch f.Kind {
+		case Leave:
+			open[f.Rank] = len(out)
+			out = append(out, absence{rank: f.Rank, from: f.Start, to: -1})
+		case Join:
+			if i, ok := open[f.Rank]; ok {
+				out[i].to = f.Start.D()
+				delete(open, f.Rank)
+			}
+		}
+	}
+	return out
+}
+
+// membershipEvents returns the plan's leave/join faults sorted by Start
+// (stable, so same-instant events for different ranks keep file order).
+func (p *Plan) membershipEvents() []*Fault {
+	var out []*Fault
+	for i := range p.Faults {
+		if k := p.Faults[i].Kind; k == Leave || k == Join {
+			out = append(out, &p.Faults[i])
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// HasMembershipFaults reports whether the plan schedules any leave/join
+// events.
+func (p *Plan) HasMembershipFaults() bool {
+	for i := range p.Faults {
+		if k := p.Faults[i].Kind; k == Leave || k == Join {
+			return true
+		}
+	}
+	return false
+}
+
+// MembersAt computes the membership of an n-machine cluster at virtual
+// time t: true = present. Events exactly at t have taken effect.
+func (p *Plan) MembersAt(t time.Duration, n int) ([]bool, error) {
+	members := make([]bool, n)
+	for i := range members {
+		members[i] = true
+	}
+	for _, f := range p.membershipEvents() {
+		if f.Start.D() > t {
+			break
+		}
+		if f.Rank >= n {
+			return nil, fmt.Errorf("chaos: membership rank %d out of range for %d machines", f.Rank, n)
+		}
+		members[f.Rank] = f.Kind == Join
+	}
+	return members, nil
 }
 
 // DeviceScalesAt reports the combined slow-device multipliers active at

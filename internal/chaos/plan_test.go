@@ -15,7 +15,7 @@ func TestParseAcceptsStringsAndNanoseconds(t *testing.T) {
 		"retry": {"timeout": 200000, "max_attempts": 8},
 		"monitor": {"factor": 2.0, "consecutive": 2},
 		"faults": [
-			{"kind": "straggler", "src": -1, "scale": 0.25, "start": "1ms"},
+			{"kind": "straggler", "src": -1, "scale": 0.25, "start": "20ms"},
 			{"kind": "flap", "src": 0, "dst": 1, "scale": 0.5, "start": "0s", "duration": "10ms", "period": "1ms"},
 			{"kind": "loss", "rate": 0.1, "start": "2ms", "duration": "3ms"},
 			{"kind": "slow-device", "scale": 4, "device": "gpu"},
@@ -31,7 +31,7 @@ func TestParseAcceptsStringsAndNanoseconds(t *testing.T) {
 	if p.Retry.Timeout.D() != 200*time.Microsecond || p.Retry.MaxAttempts != 8 {
 		t.Fatalf("retry mis-parsed: %+v", p.Retry)
 	}
-	if len(p.Faults) != 5 || p.Faults[0].Start.D() != time.Millisecond {
+	if len(p.Faults) != 5 || p.Faults[0].Start.D() != 20*time.Millisecond {
 		t.Fatalf("faults mis-parsed: %+v", p.Faults)
 	}
 	if !p.HasLinkFaults() {
@@ -53,11 +53,84 @@ func TestValidateRejections(t *testing.T) {
 		`{"faults": [{"kind": "meteor"}]}`,
 		`{"faults": [{"kind": "loss", "rate": 0.1, "start": "-1ms"}]}`,
 		`{"monitor": {"factor": 0.5}, "faults": []}`,
+		// Hardened validation: explicit zero-duration windows.
+		`{"faults": [{"kind": "loss", "rate": 0.1, "duration": "0s"}]}`,
+		`{"faults": [{"kind": "straggler", "scale": 0.5, "duration": 0}]}`,
+		// Contradictory overlapping faults on the same link.
+		`{"faults": [
+			{"kind": "straggler", "src": -1, "scale": 0.5, "start": "0s"},
+			{"kind": "straggler", "src": 0, "dst": 1, "scale": 0.25, "start": "5ms"}]}`,
+		`{"faults": [
+			{"kind": "straggler", "src": 0, "dst": 1, "scale": 0.5, "start": "0s", "duration": "10ms"},
+			{"kind": "flap", "src": 0, "dst": 1, "scale": 0.25, "start": "5ms", "duration": "10ms", "period": "1ms"}]}`,
+		`{"faults": [
+			{"kind": "loss", "rate": 0.1, "start": "0s"},
+			{"kind": "loss", "rate": 0.2, "start": "1ms"}]}`,
+		// Membership validation.
+		`{"faults": [{"kind": "leave", "rank": -1}]}`,
+		`{"faults": [{"kind": "leave", "rank": 0, "scale": 0.5}]}`,
+		`{"faults": [{"kind": "leave", "rank": 0, "duration": "1ms"}]}`,
+		`{"faults": [
+			{"kind": "leave", "rank": 1, "start": "1ms"},
+			{"kind": "leave", "rank": 1, "start": "2ms"}]}`,
+		`{"faults": [{"kind": "join", "rank": 1, "start": "1ms"}]}`,
+		`{"faults": [
+			{"kind": "leave", "rank": 1, "start": "1ms"},
+			{"kind": "join", "rank": 1, "start": "1ms"}]}`,
+		// A link fault naming a rank during its absence.
+		`{"faults": [
+			{"kind": "leave", "rank": 1, "start": "1ms"},
+			{"kind": "straggler", "src": 1, "dst": 2, "scale": 0.5, "start": "2ms", "duration": "1ms"}]}`,
+		// Reconfig config validation.
+		`{"reconfig": {"policy": "panic"}, "faults": []}`,
+		`{"reconfig": {"max_failures": -1}, "faults": []}`,
+		`{"reconfig": {"barrier_backoff": 0.5}, "faults": []}`,
 	}
 	for _, src := range bad {
 		if _, err := Parse([]byte(src)); err == nil {
 			t.Errorf("accepted invalid plan %s", src)
 		}
+	}
+}
+
+// A consistent elastic schedule passes, and MembersAt tracks it.
+func TestMembershipScheduleAndMembersAt(t *testing.T) {
+	p, err := Parse([]byte(`{
+		"seed": 1,
+		"reconfig": {"policy": "continue-degraded", "barrier_timeout": "1ms"},
+		"faults": [
+			{"kind": "leave", "rank": 3, "start": "10ms"},
+			{"kind": "join", "rank": 3, "start": "30ms"},
+			{"kind": "leave", "rank": 1, "start": "20ms"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasMembershipFaults() {
+		t.Fatal("membership faults not detected")
+	}
+	at := func(d time.Duration) []bool {
+		members, err := p.MembersAt(d, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return members
+	}
+	if got := at(0); !got[0] || !got[1] || !got[2] || !got[3] {
+		t.Fatalf("members at 0: %v", got)
+	}
+	if got := at(10 * time.Millisecond); got[3] {
+		t.Fatal("rank 3 present after its leave instant")
+	}
+	if got := at(25 * time.Millisecond); got[1] || got[3] {
+		t.Fatalf("members at 25ms: %v", got)
+	}
+	if got := at(time.Second); !got[3] || got[1] {
+		t.Fatalf("members at 1s: %v", got)
+	}
+	if _, err := p.MembersAt(time.Second, 2); err == nil {
+		t.Fatal("rank out of range accepted")
 	}
 }
 

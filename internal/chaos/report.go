@@ -10,6 +10,8 @@ import (
 // IterationSample is one iteration's record in a chaos run.
 type IterationSample struct {
 	Iteration int `json:"iteration"`
+	// Members is the surviving machine count the iteration ran on.
+	Members int `json:"members,omitempty"`
 	// Predicted is the engine's iteration time under the analytic model
 	// for the strategy in force (device scales applied); Observed is the
 	// virtual-time makespan with the inter-machine phases replayed on the
@@ -29,12 +31,14 @@ type IterationSample struct {
 }
 
 // Report is the full record of a chaos run: the plan, every iteration's
-// sample, the re-selection (if the monitor tripped), and aggregate
-// network fault statistics.
+// sample, the re-selection (if the monitor tripped), every elastic
+// reconfiguration, and aggregate network fault statistics (summed
+// across network generations).
 type Report struct {
 	Plan       *Plan             `json:"plan"`
 	Samples    []IterationSample `json:"samples"`
 	Reselected *Reselection      `json:"reselected,omitempty"`
+	Membership []MembershipEvent `json:"membership,omitempty"`
 	Net        netsim.FaultStats `json:"net"`
 }
 

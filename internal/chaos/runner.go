@@ -64,10 +64,25 @@ type Runner struct {
 	Tracer *wtrace.Tracer
 	Flight *flight.Recorder
 
+	// Deterministic zeroes the report's wall-clock fields (re-selection
+	// SelectionTime), so reruns at the same seed are byte-identical.
+	Deterministic bool
+
 	nw      *netsim.Network
 	cm      *cost.Models
 	monitor *Monitor
 	baseBps float64
+
+	// Elastic-membership state: curC is the cluster restricted to the
+	// surviving machines, members is the full-rank membership vector,
+	// rankMap maps the current network's node i to its global rank,
+	// netBase accumulates retired networks' fault statistics.
+	curC       *cluster.Cluster
+	members    []bool
+	rankMap    []int
+	generation int
+	failures   int
+	netBase    netsim.FaultStats
 
 	clock      time.Duration
 	prevStats  netsim.FaultStats
@@ -110,6 +125,12 @@ func NewRunner(m *model.Model, c *cluster.Cluster, spec compress.Spec, s *strate
 	if err != nil {
 		return nil, err
 	}
+	members := make([]bool, c.Machines)
+	rankMap := make([]int, c.Machines)
+	for i := range members {
+		members[i] = true
+		rankMap[i] = i
+	}
 	return &Runner{
 		M: m, C: c, Spec: spec, Plan: plan, Strategy: s,
 		// The plan's per-iteration deadline also bounds the Explain
@@ -118,6 +139,7 @@ func NewRunner(m *model.Model, c *cluster.Cluster, spec compress.Spec, s *strate
 		ProbeDeadline: plan.Deadline.D(),
 		nw:            nw, cm: cm, monitor: NewMonitor(plan.Monitor),
 		baseBps: c.InterBandwidth,
+		curC:    c, members: members, rankMap: rankMap,
 		wireRNG: rng{s: plan.Seed ^ 0xc0ffee},
 		report:  &Report{Plan: plan},
 	}, nil
@@ -132,10 +154,19 @@ func (r *Runner) Monitor() *Monitor { return r.monitor }
 // Clock is the cumulative virtual time across completed iterations.
 func (r *Runner) Clock() time.Duration { return r.clock }
 
+// ActiveCluster is the cluster restricted to the current membership —
+// the full cluster until a rank leaves. Data planes sized to the
+// topology (espresso-sim's DDL executor) rebuild when it changes.
+func (r *Runner) ActiveCluster() *cluster.Cluster { return r.curC }
+
+// Members lists the surviving global ranks, ascending.
+func (r *Runner) Members() []int { return append([]int(nil), r.rankMap...) }
+
 // Report returns the accumulated run report (live; WriteJSON-able at
-// any point).
+// any point). Fault statistics aggregate across every network
+// generation the run has retired.
 func (r *Runner) Report() *Report {
-	r.report.Net = r.nw.Stats()
+	r.report.Net = r.netBase.Add(r.nw.Stats())
 	return r.report
 }
 
@@ -182,7 +213,7 @@ func (r *Runner) engineAt(t time.Duration) (*timeline.Engine, float64, float64, 
 			return nil, 0, 0, err
 		}
 	}
-	eng := timeline.New(r.M, r.C, cm)
+	eng := timeline.New(r.M, r.curC, cm)
 	eng.RecordOps = false
 	eng.ComputeScale = gpuS
 	return eng, gpuS, cpuS, nil
@@ -194,7 +225,7 @@ func (r *Runner) engineAt(t time.Duration) (*timeline.Engine, float64, float64, 
 // replay over the machine network with k times the bytes; intra-machine
 // phases never touch the faulted fabric and stay analytic.
 func (r *Runner) replay(eng *timeline.Engine) (time.Duration, error) {
-	k := int64(r.C.GPUsPerMachine)
+	k := int64(r.curC.GPUsPerMachine)
 	var total time.Duration
 	for i := range r.Strategy.PerTensor {
 		steps, err := eng.CommSteps(i, r.Strategy.PerTensor[i])
@@ -236,7 +267,64 @@ func (r *Runner) replay(eng *timeline.Engine) (time.Duration, error) {
 // RunIteration executes one training iteration and returns its sample.
 // A deadline or delivery fault returns a typed *IterationError; the
 // iteration is not appended to the report in that case.
+//
+// Under an elastic plan the iteration is a bounded loop: membership is
+// synchronized against the schedule at the boundary (orderly
+// reconfiguration), and a mid-iteration membership failure (fail-fast
+// delivery error, or a missed deadline covering a scheduled change)
+// triggers reconfiguration and a retry of the iteration on the new
+// topology — the "drain, quiesce, re-select, resume" protocol. The
+// abort-after-n-failures policy turns accumulated mid-iteration
+// failures into a typed *AbortError.
 func (r *Runner) RunIteration(it int) (IterationSample, error) {
+	elastic := r.Plan.HasMembershipFaults()
+	// Each retry consumes at least one scheduled membership change, so
+	// the loop is bounded by the schedule (+1 for the initial attempt).
+	maxAttempts := len(r.Plan.Faults) + 1
+	for attempt := 0; ; attempt++ {
+		if elastic {
+			want, err := r.Plan.MembersAt(r.clock, r.C.Machines)
+			if err != nil {
+				return IterationSample{}, err
+			}
+			if !equalMembers(want, r.members) {
+				if err := r.reconfigure(it, r.clock, DetectSchedule, nil); err != nil {
+					return IterationSample{}, err
+				}
+			}
+		}
+		sample, err := r.runIterationOnce(it)
+		if err == nil {
+			return sample, nil
+		}
+		detected, membership := r.classifyMembershipFailure(err)
+		if !membership || attempt >= maxAttempts {
+			return sample, err
+		}
+		r.failures++
+		if r.Plan.Reconfig.policy() == PolicyAbortAfterN && r.failures >= r.Plan.Reconfig.maxFailures() {
+			return sample, &AbortError{Failures: r.failures, Last: err}
+		}
+		at := r.nw.Now()
+		if at < r.clock {
+			at = r.clock
+		}
+		if err := r.reconfigure(it, at, detected, err); err != nil {
+			if _, again := r.classifyMembershipFailure(err); again && attempt < maxAttempts {
+				// Another departure hit the reconfiguration itself (e.g.
+				// during the quiesce barrier); loop to re-sync against
+				// the schedule at the new clock.
+				r.failures++
+				continue
+			}
+			return IterationSample{}, err
+		}
+	}
+}
+
+// runIterationOnce executes one iteration attempt on the current
+// topology.
+func (r *Runner) runIterationOnce(it int) (IterationSample, error) {
 	iterStart := r.clock
 	r.nw.Idle(iterStart)
 
@@ -280,6 +368,7 @@ func (r *Runner) RunIteration(it int) (IterationSample, error) {
 	stats := r.nw.Stats()
 	sample := IterationSample{
 		Iteration:   it,
+		Members:     r.nw.Nodes(),
 		Predicted:   Duration(predicted),
 		Observed:    Duration(observed),
 		Comm:        Duration(comm),
@@ -304,7 +393,7 @@ func (r *Runner) RunIteration(it int) (IterationSample, error) {
 // selection, adopting the winner when it improves on the incumbent.
 func (r *Runner) reselect(it int, gpuS, cpuS float64) error {
 	scale := bottleneckScale(r.nw.Snapshot(), r.baseBps)
-	next, rs, err := Reselect(r.M, r.C, r.Spec, r.Strategy, ReselectOptions{
+	next, rs, err := Reselect(r.M, r.curC, r.Spec, r.Strategy, ReselectOptions{
 		InterScale: scale, GPUScale: gpuS, CPUScale: cpuS,
 		Parallelism: r.Parallelism, Explain: r.Explain,
 		ProbeDeadline: r.ProbeDeadline,
@@ -314,6 +403,9 @@ func (r *Runner) reselect(it int, gpuS, cpuS float64) error {
 		return err
 	}
 	rs.Iteration = it
+	if r.Deterministic {
+		rs.SelectionTime = 0
+	}
 	r.report.Reselected = rs
 	r.reselected = true
 	if rs.Adopted {

@@ -133,6 +133,19 @@ func (c *Cluster) WithBandwidthScale(intra, inter float64) (*Cluster, error) {
 	return out, nil
 }
 
+// WithMachines returns a copy with a different machine count — the
+// restricted (or re-expanded) topology the elastic-membership controller
+// selects against after ranks leave or rejoin. Everything per-machine
+// (GPUs, interconnects, host resources) is unchanged.
+func (c *Cluster) WithMachines(n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: machine count %d, want > 0", n)
+	}
+	out := c.Clone()
+	out.Machines = n
+	return out, nil
+}
+
 // TotalGPUs reports N*k.
 func (c *Cluster) TotalGPUs() int { return c.Machines * c.GPUsPerMachine }
 

@@ -10,6 +10,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"os"
 	"time"
 )
 
@@ -32,17 +33,49 @@ func (e *DeadlineError) Error() string {
 		e.Deadline, e.Elapsed, e.Pending)
 }
 
-// DeliveryError reports a message that exhausted its retransmission
-// budget on a lossy link.
+// Unwrap maps the simulator's deadline abort onto the standard library's
+// deadline sentinel, so errors.Is(err, os.ErrDeadlineExceeded) holds
+// through any wrap chain.
+func (e *DeadlineError) Unwrap() error { return os.ErrDeadlineExceeded }
+
+// MemberGoneError reports a message addressed to (or sourced from) a
+// node that has left the network's membership — the fail-fast signal the
+// elastic-reconfiguration controller keys on.
+type MemberGoneError struct {
+	// Node is the departed member.
+	Node int
+	// At is the virtual time the failed transmission was attempted or
+	// would have arrived.
+	At time.Duration
+}
+
+func (e *MemberGoneError) Error() string {
+	return fmt.Sprintf("netsim: node %d left the membership (at %v)", e.Node, e.At)
+}
+
+// DeliveryError reports a message that could not be delivered: its
+// retransmission budget was exhausted on a lossy link, or its endpoint
+// left the membership mid-flight (Cause then holds the
+// *MemberGoneError).
 type DeliveryError struct {
 	Src, Dst int
 	// Attempts is the number of transmissions tried, including the first.
 	Attempts int
+	// Cause, when non-nil, is the underlying failure (a departed member);
+	// nil means plain retransmission exhaustion.
+	Cause error
 }
 
 func (e *DeliveryError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("netsim: message %d->%d undeliverable after %d attempts: %v",
+			e.Src, e.Dst, e.Attempts, e.Cause)
+	}
 	return fmt.Sprintf("netsim: message %d->%d lost after %d attempts", e.Src, e.Dst, e.Attempts)
 }
+
+// Unwrap exposes the underlying cause (nil for plain loss exhaustion).
+func (e *DeliveryError) Unwrap() error { return e.Cause }
 
 // Recovery is the retransmission policy for lost messages: a lost message
 // is retried after Timeout, then Timeout*Backoff, and so on, capped at
@@ -95,6 +128,19 @@ func (r Recovery) rto(attempt int) time.Duration {
 	return time.Duration(t)
 }
 
+// MemberChange is a scheduled membership transition for one node.
+type MemberChange int8
+
+const (
+	// MemberNone leaves membership unchanged.
+	MemberNone MemberChange = 0
+	// MemberLeave deactivates the node: subsequent and in-flight
+	// messages touching it fail fast with a *MemberGoneError.
+	MemberLeave MemberChange = -1
+	// MemberJoin reactivates the node.
+	MemberJoin MemberChange = 1
+)
+
 // Transition is one scheduled change of network fault state, applied when
 // virtual time reaches At. Transitions never enter the event queue: the
 // network applies them lazily whenever it computes a transfer, so a
@@ -103,12 +149,16 @@ type Transition struct {
 	// At is the absolute virtual time of the change.
 	At time.Duration
 	// Src, Dst select the link to change; Src = -1 selects every link.
+	// For a membership transition, Src is the node and Dst is ignored.
 	Src, Dst int
 	// Bps is the link's new bandwidth; 0 leaves bandwidth unchanged.
 	Bps float64
 	// Loss is the network's new message-loss probability in [0, 1);
 	// a negative value leaves the loss rate unchanged.
 	Loss float64
+	// Member, when non-zero, deactivates (MemberLeave) or reactivates
+	// (MemberJoin) node Src.
+	Member MemberChange
 }
 
 // FaultStats aggregates the network's fault activity since construction.
@@ -120,10 +170,31 @@ type FaultStats struct {
 	// Retransmits counts retry transmissions (Dropped messages that were
 	// retried; equals Dropped unless a message exhausted its attempts).
 	Retransmits int
+	// Abandoned counts messages that exhausted their retransmission
+	// budget (each surfaced a *DeliveryError); Dropped = Retransmits +
+	// Abandoned when every abandonment came from loss.
+	Abandoned int
+	// MemberFailures counts transmissions failed fast because an
+	// endpoint had left the membership.
+	MemberFailures int
 	// DeliveredBytes and WastedBytes split the traffic into payload that
 	// arrived and payload burned by drops.
 	DeliveredBytes int64
 	WastedBytes    int64
+}
+
+// Add accumulates another network's statistics — the elastic controller
+// retires a network on every reconfiguration and folds its counters into
+// the run total.
+func (s FaultStats) Add(o FaultStats) FaultStats {
+	s.Sent += o.Sent
+	s.Dropped += o.Dropped
+	s.Retransmits += o.Retransmits
+	s.Abandoned += o.Abandoned
+	s.MemberFailures += o.MemberFailures
+	s.DeliveredBytes += o.DeliveredBytes
+	s.WastedBytes += o.WastedBytes
+	return s
 }
 
 // rng64 is a splitmix64 PRNG — a private copy so netsim's loss draws

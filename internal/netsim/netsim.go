@@ -24,6 +24,7 @@ type Network struct {
 	n      int
 	alpha  time.Duration
 	bps    [][]float64 // [src][dst] link bandwidth
+	active []bool      // membership; messages touching an inactive node fail fast
 	egress []*sim.FIFO
 
 	// Fault state. loss is the current message-loss probability; timeline
@@ -51,12 +52,14 @@ func New(n int, alpha time.Duration, bps float64) (*Network, error) {
 	eng := sim.NewEngine()
 	nw := &Network{eng: eng, n: n, alpha: alpha, rec: DefaultRecovery(), deadlineAt: -1}
 	nw.bps = make([][]float64, n)
+	nw.active = make([]bool, n)
 	nw.egress = make([]*sim.FIFO, n)
 	for i := 0; i < n; i++ {
 		nw.bps[i] = make([]float64, n)
 		for j := range nw.bps[i] {
 			nw.bps[i][j] = bps
 		}
+		nw.active[i] = true
 		nw.egress[i] = sim.NewFIFO(eng, fmt.Sprintf("egress%d", i))
 	}
 	return nw, nil
@@ -99,6 +102,68 @@ func (nw *Network) Snapshot() [][]float64 {
 
 // Nodes reports the node count.
 func (nw *Network) Nodes() int { return nw.n }
+
+// Active reports whether node is currently a member.
+func (nw *Network) Active(node int) bool {
+	return node >= 0 && node < nw.n && nw.active[node]
+}
+
+// ActiveNodes returns the current membership, ascending.
+func (nw *Network) ActiveNodes() []int {
+	out := make([]int, 0, nw.n)
+	for i, up := range nw.active {
+		if up {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SetMember deactivates (up = false) or reactivates a node immediately.
+// Scheduled membership changes go through Program instead, so they cross
+// the virtual clock deterministically.
+func (nw *Network) SetMember(node int, up bool) error {
+	if node < 0 || node >= nw.n {
+		return fmt.Errorf("netsim: member %d out of range for %d nodes", node, nw.n)
+	}
+	nw.active[node] = up
+	return nil
+}
+
+// Restrict builds a fresh network over the surviving nodes: the link
+// bandwidth matrix is the current Snapshot sliced to survivors (ascending
+// original node indices, which become 0..len-1 in the new network), the
+// per-message latency and retransmission policy carry over, and every
+// survivor starts active. The event clock starts at zero — callers
+// embedding the restricted network in a larger timeline Idle it forward —
+// and the fault timeline does NOT carry over (survivor indices shift, so
+// the caller re-Programs a remapped timeline).
+func (nw *Network) Restrict(survivors []int) (*Network, error) {
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("netsim: restrict to empty membership")
+	}
+	for i, s := range survivors {
+		if s < 0 || s >= nw.n {
+			return nil, fmt.Errorf("netsim: survivor %d out of range for %d nodes", s, nw.n)
+		}
+		if i > 0 && s <= survivors[i-1] {
+			return nil, fmt.Errorf("netsim: survivors must be strictly ascending, got %v", survivors)
+		}
+	}
+	out, err := New(len(survivors), nw.alpha, 1)
+	if err != nil {
+		return nil, err
+	}
+	for i, si := range survivors {
+		for j, sj := range survivors {
+			out.bps[i][j] = nw.bps[si][sj]
+		}
+	}
+	out.rec = nw.rec
+	out.loss = nw.loss
+	out.rng = nw.rng
+	return out, nil
+}
 
 // Now reports the network's absolute virtual time.
 func (nw *Network) Now() time.Duration { return nw.eng.Now() }
@@ -144,8 +209,12 @@ func (nw *Network) Program(ts []Transition) error {
 		}
 	}
 	for _, tr := range sorted {
-		if tr.Bps == 0 && tr.Loss < 0 {
+		if tr.Bps == 0 && tr.Loss < 0 && tr.Member == MemberNone {
 			return fmt.Errorf("netsim: transition at %v changes nothing", tr.At)
+		}
+		if tr.Member != MemberNone && (tr.Src < 0 || tr.Src >= nw.n) {
+			return fmt.Errorf("netsim: transition at %v: member %d out of range for %d nodes",
+				tr.At, tr.Src, nw.n)
 		}
 		if tr.Bps != 0 {
 			if tr.Bps < 0 {
@@ -189,6 +258,9 @@ func (nw *Network) advance() {
 		if tr.Loss >= 0 {
 			nw.loss = tr.Loss
 		}
+		if tr.Member != MemberNone {
+			nw.active[tr.Src] = tr.Member == MemberJoin
+		}
 	}
 }
 
@@ -223,14 +295,26 @@ func (nw *Network) send(src, dst int, bytes int64, done func()) {
 
 func (nw *Network) transmit(src, dst int, bytes int64, attempt int, done func()) {
 	nw.advance()
+	if !nw.active[src] || !nw.active[dst] {
+		nw.memberFail(src, dst, attempt)
+		return
+	}
 	xfer := time.Duration(float64(bytes) / nw.bps[src][dst] * float64(time.Second))
 	nw.stats.Sent++
 	nw.egress[src].Submit("msg", nw.eng.Now(), nw.alpha+xfer, func(sp sim.Span) {
 		nw.advance()
+		// An in-flight message to a rank that departed while it was on
+		// the wire fails fast — it is never delivered or retried.
+		if !nw.active[dst] {
+			nw.stats.WastedBytes += bytes
+			nw.memberFail(src, dst, attempt)
+			return
+		}
 		if nw.loss > 0 && nw.rng.float64() < nw.loss {
 			nw.stats.Dropped++
 			nw.stats.WastedBytes += bytes
 			if attempt >= nw.rec.MaxAttempts {
+				nw.stats.Abandoned++
 				if nw.firstErr == nil {
 					nw.firstErr = &DeliveryError{Src: src, Dst: dst, Attempts: attempt}
 				}
@@ -245,6 +329,23 @@ func (nw *Network) transmit(src, dst int, bytes int64, attempt int, done func())
 		nw.stats.DeliveredBytes += bytes
 		done()
 	})
+}
+
+// memberFail records a fail-fast delivery failure against a departed
+// member: a *DeliveryError wrapping the *MemberGoneError, so both are
+// reachable with errors.As through any outer wrap chain.
+func (nw *Network) memberFail(src, dst, attempt int) {
+	gone := dst
+	if !nw.active[src] {
+		gone = src
+	}
+	nw.stats.MemberFailures++
+	if nw.firstErr == nil {
+		nw.firstErr = &DeliveryError{
+			Src: src, Dst: dst, Attempts: attempt,
+			Cause: &MemberGoneError{Node: gone, At: nw.eng.Now()},
+		}
+	}
 }
 
 // run drains the event queue and returns the elapsed virtual time of the

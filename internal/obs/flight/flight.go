@@ -40,6 +40,9 @@ const (
 	// OutcomeReselect is a Monitor-triggered re-selection on a degraded
 	// topology — always captured as an anomaly.
 	OutcomeReselect Outcome = "reselect"
+	// OutcomeReconfig is an elastic-membership reconfiguration (a rank
+	// left or rejoined) — always captured as an anomaly.
+	OutcomeReconfig Outcome = "reconfig"
 )
 
 // Config bounds a recorder. The zero value selects the defaults.
@@ -245,6 +248,8 @@ func (fr *Recorder) Observe(rec Record) {
 		rec.Anomaly, rec.AnomalyReason = true, "error"
 	case rec.Outcome == OutcomeReselect:
 		rec.Anomaly, rec.AnomalyReason = true, "reselect"
+	case rec.Outcome == OutcomeReconfig:
+		rec.Anomaly, rec.AnomalyReason = true, "reconfig"
 	case n > int64(fr.cfg.Warmup) && fr.ewmaUs > 0 && latUs > fr.cfg.LatencyFactor*fr.ewmaUs:
 		rec.Anomaly = true
 		rec.AnomalyReason = fmt.Sprintf("latency %.1fx ewma (%.0fµs vs %.0fµs)", latUs/fr.ewmaUs, latUs, fr.ewmaUs)
