@@ -48,6 +48,9 @@ func main() {
 		tol       = flag.Float64("regress-tol", 0.15, "allowed throughput drop vs the baseline (fraction)")
 		writeBase = flag.String("write-baseline", "", "also write this run's result to the given baseline path")
 
+		target      = flag.String("target", "", "drive a live espresso-serve endpoint (e.g. http://127.0.0.1:8080) instead of selecting in-process")
+		targetToken = flag.String("token", "", "bearer token for -target's /v1 routes (ESPRESSO_TOKEN overrides)")
+
 		trace     = flag.Bool("trace", false, "wall-clock-trace every selection (request IDs, phase span trees, flight recorder)")
 		flightOut = flag.String("flight-out", "", "write the flight recorder's JSON dump to this file at exit (implies -trace)")
 
@@ -69,6 +72,11 @@ func main() {
 		Gen:         gen.Config{MaxTensors: *maxTensors, MaxMachines: *maxMachines},
 		Metrics:     obs.NewMetrics(),
 		Log:         log,
+		Target:      *target,
+		TargetToken: *targetToken,
+	}
+	if env := os.Getenv("ESPRESSO_TOKEN"); env != "" && cfg.Target != "" {
+		cfg.TargetToken = env
 	}
 	if *trace || *flightOut != "" {
 		cfg.Tracer = wtrace.New()

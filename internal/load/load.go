@@ -11,6 +11,7 @@
 package load
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	apiclient "espresso/client"
 	"espresso/internal/core"
 	"espresso/internal/cost"
 	"espresso/internal/gen"
@@ -69,6 +71,15 @@ type Config struct {
 	// Log, when set, receives progress lines and per-request debug
 	// records (request-ID-correlated at LevelDebug). Nil runs silent.
 	Log *slog.Logger
+	// Target, when non-empty, switches the harness from in-process
+	// selection to driving a live espresso-serve endpoint (e.g.
+	// "http://127.0.0.1:8080") through the typed client: the measured
+	// latency is then end-to-end HTTP, and allocation numbers describe
+	// the client process only. The generator bounds must fit the
+	// server's request caps.
+	Target string
+	// TargetToken is the bearer token for Target's /v1 routes.
+	TargetToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +122,10 @@ type Result struct {
 	Seed        uint64  `json:"seed"`
 	Parallelism int     `json:"select_parallelism"`
 	DurationS   float64 `json:"duration_s"`
+	// Target names the espresso-serve endpoint the run drove, or empty
+	// for in-process selection — two runs are only comparable in the
+	// same mode.
+	Target string `json:"target,omitempty"`
 
 	ElapsedS         float64   `json:"elapsed_s"`
 	Selections       int64     `json:"selections"`
@@ -124,6 +139,18 @@ type Result struct {
 
 	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
 	AllocsPerOp     float64 `json:"allocs_per_op"`
+}
+
+// wireGen maps the generator bounds onto the API's wire type for
+// target mode.
+func wireGen(g gen.Config) apiclient.GenConfig {
+	return apiclient.GenConfig{
+		MinTensors:  g.MinTensors,
+		MaxTensors:  g.MaxTensors,
+		MinElems:    g.MinElems,
+		MaxElems:    g.MaxElems,
+		MaxMachines: g.MaxMachines,
+	}
 }
 
 // loadCase is one pre-resolved workload: the cost models are built once
@@ -171,6 +198,11 @@ func Run(cfg Config) (*Result, error) {
 			"traced", cfg.Tracer != nil)
 	}
 
+	var remote *apiclient.Client
+	if cfg.Target != "" {
+		remote = apiclient.New(cfg.Target, apiclient.WithToken(cfg.TargetToken))
+	}
+
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -188,15 +220,33 @@ func Run(cfg Config) (*Result, error) {
 				lc := cases[int(next.Add(1)-1)%len(cases)]
 				req := cfg.Tracer.Start("select")
 				t0 := time.Now()
-				// The setup span keeps the request's top-level phases
-				// contiguous from t0: selector construction is part of the
-				// serving latency, so it gets its own slice of the tree.
-				spSetup := req.Begin(wtrace.NoParent, "setup")
-				sel := core.NewSelector(lc.c.Model, lc.c.Cluster, lc.cm)
-				sel.Parallelism = cfg.Parallelism
-				sel.Trace = req
-				req.End(spSetup)
-				_, rep, err := sel.Select()
+				var (
+					nEvals int
+					err    error
+				)
+				if remote != nil {
+					var resp *apiclient.SelectResponse
+					resp, err = remote.Select(context.Background(), apiclient.SelectRequest{
+						Seed: lc.c.Seed, Gen: wireGen(cfg.Gen), Parallelism: cfg.Parallelism,
+					})
+					if err == nil {
+						nEvals = resp.Report.Evals
+					}
+				} else {
+					// The setup span keeps the request's top-level phases
+					// contiguous from t0: selector construction is part of the
+					// serving latency, so it gets its own slice of the tree.
+					spSetup := req.Begin(wtrace.NoParent, "setup")
+					sel := core.NewSelector(lc.c.Model, lc.c.Cluster, lc.cm)
+					sel.Parallelism = cfg.Parallelism
+					sel.Trace = req
+					req.End(spSetup)
+					var rep *core.Report
+					_, rep, err = sel.Select()
+					if err == nil {
+						nEvals = rep.Evals
+					}
+				}
 				latency := time.Since(t0)
 				if err != nil {
 					failures.Inc()
@@ -214,11 +264,11 @@ func Run(cfg Config) (*Result, error) {
 				}
 				lat.Observe(float64(latency) / float64(time.Microsecond))
 				selections.Inc()
-				evals.Add(int64(rep.Evals))
-				cfg.Flight.Complete(req, lc.c.String(), int64(rep.Evals), latency, flight.OutcomeOK, nil)
+				evals.Add(int64(nEvals))
+				cfg.Flight.Complete(req, lc.c.String(), int64(nEvals), latency, flight.OutcomeOK, nil)
 				if cfg.Log != nil {
 					cfg.Log.Debug("selection complete", "req", req.ID(), "case", lc.c.String(),
-						"latency_us", float64(latency)/float64(time.Microsecond), "evals", rep.Evals)
+						"latency_us", float64(latency)/float64(time.Microsecond), "evals", nEvals)
 				}
 				req.Release()
 			}
@@ -235,6 +285,7 @@ func Run(cfg Config) (*Result, error) {
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
 		DurationS:   cfg.Duration.Seconds(),
+		Target:      cfg.Target,
 		ElapsedS:    elapsed.Seconds(),
 		Selections:  selections.Value(),
 		Errors:      failures.Value(),
@@ -298,6 +349,9 @@ func ReadResult(path string) (*Result, error) {
 func Compare(r, base *Result, tol float64) (note string, err error) {
 	if base.SelectionsPerSec <= 0 {
 		return "", errors.New("load: baseline has no throughput")
+	}
+	if r.Target != base.Target {
+		return "", fmt.Errorf("load: run mode differs from baseline (target %q vs %q); in-process and HTTP numbers are not comparable", r.Target, base.Target)
 	}
 	if r.Seed != base.Seed || r.Cases != base.Cases || r.Workers != base.Workers {
 		note = fmt.Sprintf("load: workload differs from baseline (seed %d/%d, cases %d/%d, workers %d/%d); throughput gate still applied",

@@ -14,6 +14,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -32,6 +33,12 @@ type Option func(*options)
 
 type options struct {
 	flight *flight.Recorder
+	mounts []mount
+}
+
+type mount struct {
+	pattern string
+	h       http.Handler
 }
 
 // WithFlight mounts a flight recorder at /debug/flight (retained-record
@@ -40,6 +47,20 @@ type options struct {
 // the endpoints unmounted.
 func WithFlight(fr *flight.Recorder) Option {
 	return func(o *options) { o.flight = fr }
+}
+
+// WithHandler mounts h at pattern on the same mux (and so the same
+// listener) as the observability endpoints. The selection API server
+// uses it to share one port with /metrics, /healthz, /debug/pprof, and
+// /debug/flight: serve.Start(addr, m, WithFlight(fr),
+// WithHandler("/v1/", api)). Patterns use net/http.ServeMux syntax; a
+// nil handler leaves the pattern unmounted.
+func WithHandler(pattern string, h http.Handler) Option {
+	return func(o *options) {
+		if h != nil {
+			o.mounts = append(o.mounts, mount{pattern: pattern, h: h})
+		}
+	}
 }
 
 // Handler returns the observability mux over a registry: /metrics
@@ -64,6 +85,9 @@ func Handler(m *obs.Metrics, opts ...Option) http.Handler {
 		index := "espresso observability endpoint\n\n/metrics\n/healthz\n/debug/pprof/\n"
 		if o.flight != nil {
 			index += "/debug/flight\n"
+		}
+		for _, mt := range o.mounts {
+			index += mt.pattern + "\n"
 		}
 		fmt.Fprint(w, index)
 	})
@@ -114,6 +138,9 @@ func Handler(m *obs.Metrics, opts ...Option) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, mt := range o.mounts {
+		mux.Handle(mt.pattern, mt.h)
+	}
 	return mux
 }
 
@@ -147,6 +174,14 @@ func Start(addr string, m *obs.Metrics, opts ...Option) (*Server, error) {
 // Close stops the server and releases the port. In-flight scrapes are
 // cut off; the CLIs call this on exit, where that is the point.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to drain, up to ctx's deadline — the graceful counterpart to
+// Close, used by espresso-serve so a selection mid-flight completes and
+// its report is persisted before the process exits. When the context
+// expires first the remaining connections are cut and ctx.Err is
+// returned.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // writeRecordJSON renders one flight record with the same indentation as
 // the listing dump.

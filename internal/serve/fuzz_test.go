@@ -1,0 +1,72 @@
+package serve_test
+
+import (
+	"testing"
+
+	"espresso/internal/serve"
+)
+
+// FuzzDecodeSelectRequest pins that arbitrary request bodies never
+// panic the decoder, and that everything it accepts can actually build
+// a case (the generator's draw functions panic on inverted bounds, so
+// an accepted-but-unbuildable request would crash a handler).
+func FuzzDecodeSelectRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"seed":1}`,
+		`{"seed":42,"gen":{"max_tensors":4,"max_elems":16384,"max_machines":3},"parallelism":4}`,
+		`{"seed":18446744073709551615,"gen":{"min_tensors":2,"max_tensors":2}}`,
+		`{"seed":1,"gen":{"min_tensors":5,"max_tensors":2}}`,
+		`{"sead":1}`,
+		`{"seed":`,
+		`null`,
+		`[]`,
+		`{"seed":1} trailing`,
+		`{"seed":-1}`,
+		`{"seed":1,"parallelism":-3}`,
+		`{"seed":1,"gen":{"max_elems":99999999999}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := serve.DecodeSelectRequest(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if _, _, err := serve.BuildCase(req.Seed, req.Gen); err != nil {
+			t.Errorf("decoder accepted %q but BuildCase failed: %v", data, err)
+		}
+	})
+}
+
+// FuzzDecodeJobRequest covers the job-spec decoder, including the
+// nested chaos-plan parse (durations, fault kinds, reconfig policies).
+func FuzzDecodeJobRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"kind":"verify","seed":1,"cases":5}`,
+		`{"kind":"chaos","seed":7,"iters":4,"plan":{"seed":7,"faults":[{"kind":"straggler","src":-1,"scale":0.1,"start":"0s"}]}}`,
+		`{"kind":"chaos","seed":7,"plan":{"seed":1,"retry":{"timeout":"200us","backoff":2.0,"max_rto":"5ms","max_attempts":16},"monitor":{"factor":1.5,"consecutive":3},"faults":[{"kind":"loss","rate":0.05,"start":"0s","duration":"2s"}]}}`,
+		`{"kind":"chaos","plan":{"faults":[{"kind":"leave","start":"bogus"}]}}`,
+		`{"kind":"chaos"}`,
+		`{"kind":"verify","iters":3}`,
+		`{"kind":"mystery"}`,
+		`{}`,
+		`{"kind":"verify","cases":-1}`,
+		`{"kind":"verify","deadline_ms":99999999999999}`,
+		`{"kind":"chaos","plan":"not an object"}`,
+		`{"kind":"chaos","plan":{"faults":[{"kind":"straggler","scale":1e308}]}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := serve.DecodeJobRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Kind != "chaos" && req.Kind != "verify" {
+			t.Errorf("decoder accepted unknown kind %q from %q", req.Kind, data)
+		}
+		if _, _, err := serve.BuildCase(req.Seed, req.Gen); err != nil {
+			t.Errorf("decoder accepted %q but BuildCase failed: %v", data, err)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"espresso/client"
+	"espresso/internal/serve"
+)
+
+// update rewrites the golden files from live output:
+//
+//	go test ./internal/serve -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files from live API output")
+
+// golden compares got against testdata/golden/<name>, pretty-printed so
+// diffs in review are readable. The raw wire bytes are compact; the
+// conformance suite pins those — goldens pin the *shape* of the
+// contract (field names, ordering, envelope) against accidental drift.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, got, "", "  "); err != nil {
+		t.Fatalf("%s: output is not JSON: %v\n%s", name, err, got)
+	}
+	pretty.WriteByte('\n')
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, pretty.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run with -update to create)", name, err)
+	}
+	if !bytes.Equal(pretty.Bytes(), want) {
+		t.Errorf("%s drifted from golden (re-run with -update if intended)\n got:\n%s\nwant:\n%s", name, pretty.Bytes(), want)
+	}
+}
+
+// TestGolden pins one example of every response shape the API serves:
+// select report, job status, job list, report list, diff, chaos report,
+// and the error envelope.
+func TestGolden(t *testing.T) {
+	e := newTestServer(t, serve.Config{Workers: 2})
+	ctx := context.Background()
+
+	sel1, err := e.cl.Select(ctx, client.SelectRequest{Seed: 1, Gen: smallGen})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	sel2, err := e.cl.Select(ctx, client.SelectRequest{Seed: 2, Gen: smallGen})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+
+	raw1, err := e.cl.Report(ctx, sel1.ID)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	golden(t, "select.json", raw1)
+
+	js, err := e.cl.SubmitJob(ctx, client.JobRequest{
+		Kind: "chaos", Seed: 7, Gen: smallGen, Iters: 2, Plan: json.RawMessage(planJSON),
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	done, err := e.cl.WaitJob(ctx, js.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if done.State != "succeeded" {
+		t.Fatalf("chaos job: %+v", done)
+	}
+	statusJSON, err := json.Marshal(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "job-status.json", statusJSON)
+
+	jobs, err := e.cl.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	jobsJSON, err := json.Marshal(client.JobList{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "job-list.json", jobsJSON)
+
+	chaosRaw, err := e.cl.Report(ctx, done.ReportID)
+	if err != nil {
+		t.Fatalf("chaos Report: %v", err)
+	}
+	golden(t, "chaos-report.json", chaosRaw)
+
+	reps, err := e.cl.Reports(ctx)
+	if err != nil {
+		t.Fatalf("Reports: %v", err)
+	}
+	repsJSON, err := json.Marshal(client.ReportList{Reports: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "report-list.json", repsJSON)
+
+	d, err := e.cl.Diff(ctx, sel1.ID, sel2.ID)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	diffJSON, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "diff.json", diffJSON)
+
+	// The error envelope, with a pinned request ID.
+	req, err := json.Marshal(client.SelectRequest{Seed: 1, Parallelism: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, errBody := postRawWithID(t, e.ts.URL+"/v1/select", "golden-req", req)
+	if status != 400 {
+		t.Fatalf("error-envelope request: status %d: %s", status, errBody)
+	}
+	golden(t, "error.json", errBody)
+}
+
+// postRawWithID is postRaw with a pinned X-Request-ID (goldens must not
+// capture the server's atomic counter).
+func postRawWithID(t *testing.T, url, reqID string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp.StatusCode, resp.Header, data
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// schemaVersion is the store layout this build writes. MANIFEST records
+// the version a directory was last written with; Open migrates older
+// directories forward, one version at a time, and refuses newer ones
+// (downgrades are not supported — the newer binary's checkpoint may use
+// fields this one does not understand).
+const schemaVersion = 2
+
+const manifestFile = "MANIFEST.json"
+
+type manifest struct {
+	Schema int `json:"schema"`
+}
+
+// loadManifest reads the directory's schema version, initializing a
+// fresh directory at the current version.
+func loadManifest(dir string) (int, error) {
+	path := filepath.Join(dir, manifestFile)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if err := writeManifest(dir, schemaVersion); err != nil {
+			return 0, err
+		}
+		return schemaVersion, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("store: parsing manifest: %w", err)
+	}
+	if m.Schema < 1 {
+		return 0, fmt.Errorf("store: manifest schema %d is invalid", m.Schema)
+	}
+	if m.Schema > schemaVersion {
+		return 0, fmt.Errorf("store: directory has schema %d, this build writes %d; refusing downgrade", m.Schema, schemaVersion)
+	}
+	return m.Schema, nil
+}
+
+func writeManifest(dir string, schema int) error {
+	data, err := json.Marshal(manifest{Schema: schema})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		return fmt.Errorf("store: installing manifest: %w", err)
+	}
+	return nil
+}
+
+// migrate walks the in-memory image forward from `from` to
+// schemaVersion. The caller checkpoints afterwards and only then stamps
+// the manifest, so a crash mid-migration simply re-migrates.
+func (s *Store) migrate(from int) error {
+	for v := from; v < schemaVersion; v++ {
+		switch v {
+		case 1:
+			s.migrate1to2()
+		default:
+			return fmt.Errorf("store: no migration from schema %d", v)
+		}
+	}
+	return nil
+}
+
+// migrate1to2: schema 1 predates the report Kind column — every report
+// row was implicitly a selection report. Backfill the default.
+func (s *Store) migrate1to2() {
+	for id, r := range s.reports {
+		if r.Kind == "" {
+			r.Kind = "select"
+			s.reports[id] = r
+		}
+	}
+}

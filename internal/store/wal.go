@@ -1,0 +1,169 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.json"
+
+	// maxRecordLen bounds one WAL record; anything larger on replay is
+	// treated as corruption rather than an allocation request.
+	maxRecordLen = 64 << 20
+)
+
+// wal is the append-only mutation log. Framing per record:
+//
+//	uint32 little-endian payload length
+//	uint32 little-endian CRC32 (IEEE) of the payload
+//	payload (JSON-encoded record)
+//
+// Replay stops at the first frame that is truncated or fails its CRC —
+// a torn tail from a crash mid-append — and truncates the file there, so
+// the next append continues from a clean boundary.
+type wal struct {
+	f    *os.File
+	sync bool
+}
+
+func openWAL(path string, sync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening wal: %w", err)
+	}
+	return &wal{f: f, sync: sync}, nil
+}
+
+func (w *wal) append(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding wal record: %w", err)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("store: appending wal record: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing wal: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *wal) truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewinding wal: %w", err)
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// replayWAL reads every intact record and repairs a torn tail in place.
+func replayWAL(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading wal: %w", err)
+	}
+	var recs []record
+	off := 0
+	good := 0
+	for {
+		if off+8 > len(data) {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordLen || off+8+n > len(data) {
+			break
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// A record that framed correctly but does not parse is real
+			// corruption, not a torn tail.
+			return nil, fmt.Errorf("store: wal record at offset %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+		good = off
+	}
+	if good < len(data) {
+		// Drop the torn tail so the next append starts on a frame
+		// boundary.
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("store: repairing torn wal tail: %w", err)
+		}
+	}
+	return recs, nil
+}
+
+// readSnapshot loads the checkpoint, nil when none exists yet.
+func readSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: parsing snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// writeSnapshot writes atomically: temp file, fsync, rename. The
+// encoding is compact on purpose: indentation would re-format the
+// reports' RawMessage bodies, and those must survive a checkpoint
+// byte-for-byte (GET /v1/reports/{id} serves them verbatim).
+func writeSnapshot(path string, snap *snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	return nil
+}
